@@ -1,0 +1,78 @@
+// Measures the compilation pipeline itself (the paper's Figure 1 stages):
+// symbolic lowering with flop reduction and halo analysis (Operator
+// construction), C emission, and — when a system compiler is available —
+// the external JIT build. Devito-style DSLs pay these costs once per
+// Operator; they should stay interactive even for the TTI kernel at high
+// space orders.
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+
+#include "codegen/jit.h"
+#include "models/acoustic.h"
+#include "models/tti.h"
+
+namespace {
+
+using jitfd::grid::Grid;
+
+template <typename Model>
+void lowering(benchmark::State& state) {
+  const int so = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const Grid g({16, 16, 16}, {1.0, 1.0, 1.0});
+    Model model(g, so);
+    auto op = model.make_operator({});
+    benchmark::DoNotOptimize(op->iet().get());
+  }
+}
+
+template <typename Model>
+void emission(benchmark::State& state) {
+  const int so = static_cast<int>(state.range(0));
+  const Grid g({16, 16, 16}, {1.0, 1.0, 1.0});
+  Model model(g, so);
+  auto op = model.make_operator({});
+  std::int64_t bytes = 0;
+  for (auto _ : state) {
+    // ccode() caches; re-lower to measure the emitter each iteration.
+    auto fresh = model.make_operator({});
+    bytes += static_cast<std::int64_t>(fresh->ccode().size());
+    benchmark::DoNotOptimize(fresh->ccode().data());
+  }
+  state.SetBytesProcessed(bytes);
+}
+
+void BM_LowerAcoustic(benchmark::State& s) {
+  lowering<jitfd::models::AcousticModel>(s);
+}
+void BM_LowerTti(benchmark::State& s) { lowering<jitfd::models::TtiModel>(s); }
+void BM_EmitAcoustic(benchmark::State& s) {
+  emission<jitfd::models::AcousticModel>(s);
+}
+void BM_EmitTti(benchmark::State& s) { emission<jitfd::models::TtiModel>(s); }
+
+void BM_JitCompileAcoustic(benchmark::State& state) {
+  if (std::system("cc --version > /dev/null 2>&1") != 0) {
+    state.SkipWithError("no C compiler");
+    return;
+  }
+  const Grid g({16, 16, 16}, {1.0, 1.0, 1.0});
+  jitfd::models::AcousticModel model(g, 8);
+  auto op = model.make_operator({});
+  const std::string& code = op->ccode();
+  for (auto _ : state) {
+    jitfd::codegen::JitKernel kernel(code, /*openmp=*/true);
+    benchmark::DoNotOptimize(&kernel);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_LowerAcoustic)->Arg(4)->Arg(8)->Arg(16);
+BENCHMARK(BM_LowerTti)->Arg(4)->Arg(8)->Arg(16);
+BENCHMARK(BM_EmitAcoustic)->Arg(8);
+BENCHMARK(BM_EmitTti)->Arg(8);
+BENCHMARK(BM_JitCompileAcoustic)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

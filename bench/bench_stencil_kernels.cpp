@@ -1,0 +1,102 @@
+// Measured single-rank update throughput of the four wave-propagator
+// kernels through both execution backends: the reference interpreter and
+// JIT-compiled generated C (when a system C compiler is present). The
+// JIT/interpreter ratio shows what the code-generation path buys; the
+// per-kernel ordering mirrors the flops-per-point ordering of Figure 7.
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <memory>
+
+#include "models/acoustic.h"
+#include "models/elastic.h"
+#include "models/tti.h"
+#include "models/viscoelastic.h"
+
+namespace {
+
+using jitfd::core::Operator;
+using jitfd::grid::Grid;
+namespace ir = jitfd::ir;
+
+constexpr std::int64_t kEdge = 48;
+
+bool have_cc() {
+  static const bool ok = std::system("cc --version > /dev/null 2>&1") == 0;
+  return ok;
+}
+
+template <typename Model>
+void run_kernel(benchmark::State& state, Operator::Backend backend, int so) {
+  if (backend == Operator::Backend::Jit && !have_cc()) {
+    state.SkipWithError("no C compiler for the JIT backend");
+    return;
+  }
+  const Grid g({kEdge, kEdge}, {1.0, 1.0});
+  Model model(g, so);
+  model.wavefield().fill_global_box(
+      0, std::vector<std::int64_t>{kEdge / 4, kEdge / 4},
+      std::vector<std::int64_t>{kEdge / 2, kEdge / 2}, 1.0F);
+  auto op = model.make_operator({});
+  op->set_backend(backend);
+  const double dt = model.critical_dt();
+  std::int64_t time = 0;
+  // Warm up (forces the JIT compile outside the timed loop).
+  op->apply(time, time, model.scalars(dt));
+  ++time;
+  for (auto _ : state) {
+    op->apply(time, time + 4, model.scalars(dt));
+    time += 5;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 5 *
+                          kEdge * kEdge);
+  state.counters["GPts/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 5 * kEdge * kEdge / 1e9,
+      benchmark::Counter::kIsRate);
+}
+
+void BM_AcousticInterp(benchmark::State& s) {
+  run_kernel<jitfd::models::AcousticModel>(s, Operator::Backend::Interpret,
+                                           static_cast<int>(s.range(0)));
+}
+void BM_AcousticJit(benchmark::State& s) {
+  run_kernel<jitfd::models::AcousticModel>(s, Operator::Backend::Jit,
+                                           static_cast<int>(s.range(0)));
+}
+void BM_TtiInterp(benchmark::State& s) {
+  run_kernel<jitfd::models::TtiModel>(s, Operator::Backend::Interpret,
+                                      static_cast<int>(s.range(0)));
+}
+void BM_TtiJit(benchmark::State& s) {
+  run_kernel<jitfd::models::TtiModel>(s, Operator::Backend::Jit,
+                                      static_cast<int>(s.range(0)));
+}
+void BM_ElasticInterp(benchmark::State& s) {
+  run_kernel<jitfd::models::ElasticModel>(s, Operator::Backend::Interpret,
+                                          static_cast<int>(s.range(0)));
+}
+void BM_ElasticJit(benchmark::State& s) {
+  run_kernel<jitfd::models::ElasticModel>(s, Operator::Backend::Jit,
+                                          static_cast<int>(s.range(0)));
+}
+void BM_ViscoelasticInterp(benchmark::State& s) {
+  run_kernel<jitfd::models::ViscoelasticModel>(
+      s, Operator::Backend::Interpret, static_cast<int>(s.range(0)));
+}
+void BM_ViscoelasticJit(benchmark::State& s) {
+  run_kernel<jitfd::models::ViscoelasticModel>(s, Operator::Backend::Jit,
+                                               static_cast<int>(s.range(0)));
+}
+
+}  // namespace
+
+BENCHMARK(BM_AcousticInterp)->Arg(4)->Arg(8);
+BENCHMARK(BM_AcousticJit)->Arg(4)->Arg(8);
+BENCHMARK(BM_TtiInterp)->Arg(4);
+BENCHMARK(BM_TtiJit)->Arg(4);
+BENCHMARK(BM_ElasticInterp)->Arg(4);
+BENCHMARK(BM_ElasticJit)->Arg(4);
+BENCHMARK(BM_ViscoelasticInterp)->Arg(4);
+BENCHMARK(BM_ViscoelasticJit)->Arg(4);
+
+BENCHMARK_MAIN();

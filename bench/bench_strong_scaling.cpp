@@ -1,0 +1,105 @@
+// Regenerates the paper's strong-scaling evaluation:
+//   Figures 8-11 and Tables IV/VIII/XII/XVI (SDO 8, CPU + GPU),
+//   Figures 13-16 and Tables III-XVIII (CPU, SDO 4/8/12/16),
+//   Figures 17-20 and Tables XIX-XXXIV (GPU, SDO sweep, basic mode).
+//
+// Model throughput (GPts/s) is printed next to the paper's published
+// values where the table is legible in the source. The paper's GPU runs
+// support only the basic pattern (Table I), so GPU rows are basic-only.
+//
+// Usage:
+//   bench_strong_scaling [--kernel=acoustic|elastic|tti|viscoelastic]
+//                        [--target=cpu|gpu] [--so=8] [--topology=x,y,z]
+#include <cmath>
+
+#include "bench_util.h"
+#include "ir/lower.h"
+
+namespace {
+
+using namespace jitfd::perf;  // NOLINT: benchmark driver.
+using benchutil::arg_value;
+namespace ir = jitfd::ir;
+
+void run_table(const KernelSpec& spec, Target target, int so,
+               const std::vector<int>& topology) {
+  const MachineSpec mach = target == Target::Cpu ? archer2_node()
+                                                 : tursa_a100();
+  ScalingModel model(mach, spec, target);
+  if (!topology.empty()) {
+    model.set_topology(topology);
+  }
+  std::printf("%s so-%02d strong scaling, %s, domain %lld^3 (GPts/s)\n",
+              spec.name.c_str(), so, benchutil::target_name(target),
+              static_cast<long long>(spec.strong_domain.at(target)));
+  std::printf("  %-10s       ", "units:");
+  for (const int u : kUnitColumns) {
+    std::printf(" %8d", u);
+  }
+  std::printf("\n");
+
+  const std::vector<ir::MpiMode> modes =
+      target == Target::Cpu
+          ? std::vector<ir::MpiMode>{ir::MpiMode::Basic, ir::MpiMode::Diagonal,
+                                     ir::MpiMode::Full}
+          : std::vector<ir::MpiMode>{ir::MpiMode::Basic};
+  for (const ir::MpiMode mode : modes) {
+    std::vector<double> row;
+    for (const int u : kUnitColumns) {
+      row.push_back(model.strong(u, so, mode).gpts);
+    }
+    benchutil::print_row_pair(ir::to_string(mode), row,
+                              paper_strong(spec.name, target, so, mode));
+    const auto last = model.strong(kUnitColumns.back(), so, mode);
+    std::printf("  %-10s eff@128 = %.0f%%  (comp %.2f ms, net %.2f ms, "
+                "pack %.2f ms/step)\n",
+                "", 100.0 * last.efficiency, last.t_comp * 1e3,
+                last.t_net * 1e3, last.t_pack * 1e3);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string kernel = arg_value(argc, argv, "kernel", "all");
+  const std::string target_s = arg_value(argc, argv, "target", "all");
+  const std::string so_s = arg_value(argc, argv, "so", "all");
+  const std::string topo_s = arg_value(argc, argv, "topology", "");
+
+  std::vector<int> topology;
+  if (!topo_s.empty()) {
+    std::size_t pos = 0;
+    while (pos < topo_s.size()) {
+      topology.push_back(std::stoi(topo_s.substr(pos)));
+      pos = topo_s.find(',', pos);
+      if (pos == std::string::npos) {
+        break;
+      }
+      ++pos;
+    }
+  }
+
+  std::printf("=== Strong scaling (paper Section IV-D; Figures 8-11, "
+              "13-20; Tables III-XXXIV) ===\n\n");
+  for (const KernelSpec& spec : all_kernel_specs()) {
+    if (kernel != "all" && kernel != spec.name) {
+      continue;
+    }
+    for (const Target target : {Target::Cpu, Target::Gpu}) {
+      if (target_s == "cpu" && target != Target::Cpu) {
+        continue;
+      }
+      if (target_s == "gpu" && target != Target::Gpu) {
+        continue;
+      }
+      for (const int so : {4, 8, 12, 16}) {
+        if (so_s != "all" && std::stoi(so_s) != so) {
+          continue;
+        }
+        run_table(spec, target, so, topology);
+      }
+    }
+  }
+  return 0;
+}

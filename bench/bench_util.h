@@ -1,0 +1,64 @@
+// Shared helpers for the table/figure regenerator benchmarks.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "perfmodel/paper_data.h"
+#include "perfmodel/scaling.h"
+
+namespace benchutil {
+
+using jitfd::perf::Target;
+
+inline const char* target_name(Target t) {
+  return t == Target::Cpu ? "CPU (ARCHER2 node)" : "GPU (Tursa A100-80)";
+}
+
+/// Parse "--key=value" style arguments.
+inline std::string arg_value(int argc, char** argv, const char* key,
+                             const std::string& fallback) {
+  const std::string prefix = std::string("--") + key + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+inline bool has_flag(int argc, char** argv, const char* flag) {
+  const std::string want = std::string("--") + flag;
+  for (int i = 1; i < argc; ++i) {
+    if (want == argv[i]) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Print one model row and, if available, the paper's published values.
+inline void print_row_pair(const char* label,
+                           const std::vector<double>& model,
+                           const jitfd::perf::PaperRow& paper) {
+  std::printf("  %-10s model:", label);
+  for (const double v : model) {
+    std::printf(" %8.1f", v);
+  }
+  std::printf("\n");
+  if (paper.available()) {
+    std::printf("  %-10s paper:", "");
+    for (const double v : paper.gpts) {
+      if (std::isnan(v)) {
+        std::printf(" %8s", "-");
+      } else {
+        std::printf(" %8.1f", v);
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace benchutil

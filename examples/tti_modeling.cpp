@@ -1,0 +1,102 @@
+// Anisotropic (TTI) wave propagation: the paper's most flop-intensive
+// kernel. The rotated Laplacian is composed from first derivatives with
+// spatially varying direction cosines through CIRE scratch fields, which
+// the compiler recomputes and halo-exchanges every time step. The
+// anisotropy is visible in the wavefront: it propagates faster along the
+// tilted symmetry axis.
+//
+//   ./tti_modeling [nranks] [theta-degrees]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/operator.h"
+#include "models/tti.h"
+#include "smpi/runtime.h"
+#include "sparse/sparse_function.h"
+
+using jitfd::grid::Grid;
+using jitfd::models::TtiModel;
+using jitfd::sparse::Injection;
+using jitfd::sparse::SparseFunction;
+namespace ir = jitfd::ir;
+
+namespace {
+
+void shot(const Grid& grid, double theta, int rank) {
+  const int so = 8;
+  TtiModel model(grid, so, /*velocity=*/1.5, /*epsilon=*/0.24,
+                 /*delta=*/0.1, theta);
+
+  const double lx = grid.extent()[0];
+  const double ly = grid.extent()[1];
+  const SparseFunction src("src", grid, {{0.5 * lx, 0.5 * ly}});
+  const double dt = model.critical_dt();  // Milliseconds.
+  const double f0 = 0.015;               // 15 Hz in cycles/ms.
+  Injection inj_p(
+      model.wavefield(), src,
+      [&](std::int64_t t) { return jitfd::sparse::ricker(t * dt, f0, 1.2 / f0); },
+      nullptr, 1);
+  Injection inj_q(
+      model.q(), src,
+      [&](std::int64_t t) { return jitfd::sparse::ricker(t * dt, f0, 1.2 / f0); },
+      nullptr, 1);
+
+  auto op = model.make_operator({}, {&inj_p, &inj_q});
+  if (std::system("cc --version > /dev/null 2>&1") == 0) {
+    op->set_backend(jitfd::core::Operator::Backend::Jit);
+  }
+  const int steps = 180;
+  op->apply(1, steps, model.scalars(dt));
+
+  const auto p = model.wavefield().gather((steps + 1) % 3);
+  const double energy = model.field_energy(steps);  // Collective.
+  if (rank == 0) {
+    std::printf("TTI shot: %lld^2 grid, SDO %d, theta=%.0f deg, %d steps\n",
+                static_cast<long long>(grid.shape()[0]), so,
+                theta * 180.0 / M_PI, steps);
+    std::printf("p-field energy: %.3e\n", energy);
+    // Wavefront anisotropy: radius of the front along vs across the tilt.
+    const std::int64_t n = grid.shape()[0];
+    auto front_radius = [&](double angle) {
+      for (std::int64_t r = n / 2 - 1; r > 0; --r) {
+        const auto i =
+            static_cast<std::int64_t>(n / 2 + r * std::cos(angle));
+        const auto j =
+            static_cast<std::int64_t>(n / 2 + r * std::sin(angle));
+        if (i >= 0 && i < n && j >= 0 && j < n &&
+            std::abs(p[static_cast<std::size_t>(i * n + j)]) > 1e-4) {
+          return static_cast<double>(r);
+        }
+      }
+      return 0.0;
+    };
+    const double along = front_radius(theta);
+    const double across = front_radius(theta + M_PI / 2);
+    std::printf("wavefront radius along tilt axis: %.0f points, perpendicular:\n"
+                "%.0f points (anisotropic propagation; compare with\n"
+                "theta=0/90 or epsilon=0 for the isotropic circle)\n",
+                along, across);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int nranks = argc > 1 ? std::atoi(argv[1]) : 0;
+  const double theta_deg = argc > 2 ? std::atof(argv[2]) : 30.0;
+  const double theta = theta_deg * M_PI / 180.0;
+  const std::vector<std::int64_t> shape{141, 141};
+  const std::vector<double> extent{1400.0, 1400.0};
+  if (nranks > 1) {
+    smpi::run(nranks, [&](smpi::Communicator& comm) {
+      const Grid grid(shape, extent, comm);
+      shot(grid, theta, comm.rank());
+    });
+  } else {
+    const Grid grid(shape, extent);
+    shot(grid, theta, 0);
+  }
+  return 0;
+}

@@ -1,0 +1,394 @@
+#include "codegen/emit.h"
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "symbolic/manip.h"
+
+namespace jitfd::codegen {
+
+namespace {
+
+const char* dim_var(int d) {
+  static constexpr const char* kNames[] = {"x", "y", "z"};
+  return kNames[d];
+}
+
+std::string float_literal(double v) {
+  std::ostringstream os;
+  if (v == std::floor(v) && std::abs(v) < 1e9) {
+    os << static_cast<long long>(v) << ".0F";
+  } else {
+    os.precision(9);
+    os << v << "F";
+  }
+  return os.str();
+}
+
+/// Time-buffer variable name for a field with `nb` buffers at relative
+/// offset `k` (e.g. t3_p1 = "(time + 1) % 3"); saved (non-cycling)
+/// fields use the absolute index ts_p1 = "time + 1".
+std::string time_var(int nb, int k, bool saved) {
+  std::ostringstream os;
+  if (saved) {
+    os << "ts";
+  } else {
+    os << 't' << nb;
+  }
+  os << '_' << (k < 0 ? 'm' : 'p') << std::abs(k);
+  return os.str();
+}
+
+class Emitter {
+ public:
+  Emitter(const ir::LoweringInfo& info, const ir::FieldTable& fields,
+          const grid::Grid& grid, const ir::CompileOptions& opts)
+      : info_(&info), fields_(&fields), grid_(&grid), opts_(&opts) {}
+
+  std::string run(const ir::NodePtr& iet);
+
+ private:
+  // --- Expression printing -------------------------------------------------
+
+  std::string field_access(const sym::ExprNode& n) const {
+    const grid::Function& fn = fields_->at(n.field.id);
+    std::ostringstream os;
+    os << n.field.name;
+    if (n.field.time_varying) {
+      os << '[' << time_var(fn.time_buffers(), n.time_offset, fn.saved())
+         << ']';
+    }
+    for (int d = 0; d < n.field.ndims; ++d) {
+      const int shift =
+          n.space_offsets[static_cast<std::size_t>(d)] + fn.lpad();
+      os << '[' << dim_var(d);
+      if (shift > 0) {
+        os << " + " << shift;
+      } else if (shift < 0) {
+        os << " - " << -shift;
+      }
+      os << ']';
+    }
+    return os.str();
+  }
+
+  // Precedence: Add=1, Mul=2, unary/pow-as-call=3, leaf=4.
+  std::string expr(const sym::Ex& e, int parent_prec) const {
+    const sym::ExprNode& n = e.node();
+    switch (n.kind) {
+      case sym::Kind::Number:
+        return n.value < 0 ? "(" + float_literal(n.value) + ")"
+                           : float_literal(n.value);
+      case sym::Kind::Symbol:
+        return n.name;
+      case sym::Kind::FieldAccess:
+        return field_access(n);
+      case sym::Kind::Add: {
+        std::ostringstream os;
+        const bool parens = parent_prec > 1;
+        if (parens) {
+          os << '(';
+        }
+        for (std::size_t i = 0; i < n.args.size(); ++i) {
+          if (i > 0) {
+            os << " + ";
+          }
+          os << expr(n.args[i], 1);
+        }
+        if (parens) {
+          os << ')';
+        }
+        return os.str();
+      }
+      case sym::Kind::Mul: {
+        std::ostringstream os;
+        const bool parens = parent_prec > 2;
+        if (parens) {
+          os << '(';
+        }
+        for (std::size_t i = 0; i < n.args.size(); ++i) {
+          if (i > 0) {
+            os << '*';
+          }
+          os << expr(n.args[i], 3);
+        }
+        if (parens) {
+          os << ')';
+        }
+        return os.str();
+      }
+      case sym::Kind::Pow: {
+        const sym::Ex& base = n.args[0];
+        const sym::Ex& e2 = n.args[1];
+        if (e2.is_number()) {
+          const double v = e2.number();
+          if (v == std::floor(v) && std::abs(v) <= 4.0 && v != 0.0) {
+            // Expand small integer powers into multiplications/divisions.
+            const std::string b = expr(base, 4);
+            std::ostringstream os;
+            if (v < 0) {
+              os << "(1.0F/";
+            }
+            os << '(' << b;
+            for (int i = 1; i < static_cast<int>(std::abs(v)); ++i) {
+              os << '*' << b;
+            }
+            os << ')';
+            if (v < 0) {
+              os << ')';
+            }
+            return os.str();
+          }
+        }
+        return "powf(" + expr(base, 1) + ", " + expr(e2, 1) + ")";
+      }
+      case sym::Kind::Call:
+        return n.name + "f(" + expr(n.args[0], 1) + ")";
+    }
+    return "0.0F";
+  }
+
+  // --- Statement emission ---------------------------------------------------
+
+  void line(const std::string& s) {
+    out_ << std::string(static_cast<std::size_t>(indent_) * 2, ' ') << s
+         << '\n';
+  }
+
+  void emit_expression(const ir::Node& n) {
+    if (n.target.kind() == sym::Kind::Symbol) {
+      line("const float " + n.target.node().name + " = " +
+           expr(n.value, 0) + ";");
+    } else {
+      line(field_access(n.target.node()) + " = " + expr(n.value, 0) + ";");
+    }
+  }
+
+  void emit_halo_comm(const ir::Node& n) {
+    switch (n.comm_kind) {
+      case ir::HaloCommKind::Update:
+        line("ops->update(hctx, " + std::to_string(n.spot_id) + ", time);");
+        break;
+      case ir::HaloCommKind::Start:
+        line("ops->start(hctx, " + std::to_string(n.spot_id) + ", time);");
+        break;
+      case ir::HaloCommKind::Wait:
+        line("ops->wait(hctx, " + std::to_string(n.spot_id) + ");");
+        break;
+    }
+  }
+
+  void emit_loop(const ir::Node& n, bool in_core) {
+    const auto d = static_cast<std::size_t>(n.dim);
+    const std::int64_t size = grid_->local_shape()[d];
+    const std::int64_t lo = n.lo.resolve(size);
+    const std::int64_t hi = n.hi.resolve(size);
+    const std::string v = dim_var(n.dim);
+
+    if (n.props.parallel && opts_->openmp) {
+      if (opts_->lang == ir::Lang::OpenMP) {
+        line(n.props.vector ? "#pragma omp parallel for simd schedule(static)"
+                            : "#pragma omp parallel for schedule(static)");
+      } else {
+        line("#pragma acc parallel loop collapse(" +
+             std::to_string(grid_->ndims()) + ") present(" + acc_present_ +
+             ")");
+      }
+    } else if (n.props.vector && opts_->lang == ir::Lang::OpenMP) {
+      line("#pragma omp simd");
+    }
+
+    const bool blocked = n.props.block > 0 && opts_->lang == ir::Lang::OpenMP;
+    if (blocked) {
+      const std::string bv = v + "b";
+      line("for (long " + bv + " = " + std::to_string(lo) + "; " + bv +
+           " < " + std::to_string(hi) + "; " + bv + " += " +
+           std::to_string(n.props.block) + ")");
+      line("{");
+      ++indent_;
+      if (in_core && opts_->mode == ir::MpiMode::Full) {
+        // Prod the asynchronous progress engine once per tile block
+        // (paper Section III-h: a call to MPI_Test before each new block).
+        line("ops->progress(hctx);");
+      }
+      line("for (long " + v + " = " + bv + "; " + v + " < (" + bv + " + " +
+           std::to_string(n.props.block) + " < " + std::to_string(hi) +
+           " ? " + bv + " + " + std::to_string(n.props.block) + " : " +
+           std::to_string(hi) + "); " + v + " += 1)");
+    } else {
+      line("for (long " + v + " = " + std::to_string(lo) + "; " + v + " < " +
+           std::to_string(hi) + "; " + v + " += 1)");
+    }
+    line("{");
+    ++indent_;
+    for (const ir::NodePtr& child : n.body) {
+      emit_node(*child, in_core);
+    }
+    --indent_;
+    line("}");
+    if (blocked) {
+      --indent_;
+      line("}");
+    }
+  }
+
+  void emit_node(const ir::Node& n, bool in_core) {
+    switch (n.type) {
+      case ir::NodeType::Expression:
+        emit_expression(n);
+        return;
+      case ir::NodeType::Iteration:
+        emit_loop(n, in_core);
+        return;
+      case ir::NodeType::HaloComm:
+        emit_halo_comm(n);
+        return;
+      case ir::NodeType::SparseOp:
+        line("ops->sparse(hctx, " + std::to_string(n.sparse_id) + ", time);");
+        return;
+      case ir::NodeType::Section: {
+        line("/* section: " + n.name + " */");
+        const bool core = n.name == "core";
+        for (const ir::NodePtr& child : n.body) {
+          emit_node(*child, core);
+        }
+        return;
+      }
+      default:
+        return;  // Callable/TimeLoop handled by run(); HaloSpot never here.
+    }
+  }
+
+  const ir::LoweringInfo* info_;
+  const ir::FieldTable* fields_;
+  const grid::Grid* grid_;
+  const ir::CompileOptions* opts_;
+  std::ostringstream out_;
+  int indent_ = 0;
+  std::string acc_present_;
+};
+
+std::string Emitter::run(const ir::NodePtr& iet) {
+  out_ << "/* Generated by jitfd (" << to_string(opts_->mode)
+       << " mode). Do not edit. */\n";
+  out_ << "#include <math.h>\n\n";
+  out_ << "typedef struct jitfd_halo_ops {\n"
+          "  void (*update)(void* ctx, int spot, long time);\n"
+          "  void (*start)(void* ctx, int spot, long time);\n"
+          "  void (*wait)(void* ctx, int spot);\n"
+          "  void (*progress)(void* ctx);\n"
+          "  void (*sparse)(void* ctx, int sparse_id, long time);\n"
+          "} jitfd_halo_ops;\n\n";
+  out_ << "int " << kKernelSymbol
+       << "(float** restrict fields, const double* restrict scalars,\n"
+          "           long time_m, long time_M, void* hctx,\n"
+          "           const jitfd_halo_ops* ops)\n{\n";
+  indent_ = 1;
+
+  // Field pointer casts with baked padded shapes (the VLA-pointer idiom of
+  // the paper's Listing 11 context).
+  {
+    std::ostringstream present;
+    for (std::size_t i = 0; i < info_->field_order.size(); ++i) {
+      const grid::Function& fn = fields_->at(info_->field_order[i]);
+      std::ostringstream decl;
+      decl << "float (*restrict " << fn.name() << ")";
+      std::ostringstream dims;
+      const auto& ps = fn.padded_shape();
+      // Leading dimension (time buffer or first space dim) is unsized.
+      for (std::size_t d = 1; d < ps.size(); ++d) {
+        dims << '[' << ps[d] << ']';
+      }
+      if (fn.field_id().time_varying) {
+        // u[t][x]...[z]: all space dims sized.
+        dims.str("");
+        for (const std::int64_t p : ps) {
+          dims << '[' << p << ']';
+        }
+      }
+      decl << dims.str() << " = (float (*restrict)" << dims.str()
+           << ") fields[" << i << "];";
+      line(decl.str());
+      if (i > 0) {
+        present << ", ";
+      }
+      present << fn.name();
+    }
+    acc_present_ = present.str();
+  }
+  out_ << '\n';
+
+  // Scalar bindings.
+  for (std::size_t i = 0; i < info_->scalar_order.size(); ++i) {
+    line("const float " + info_->scalar_order[i] + " = (float)scalars[" +
+         std::to_string(i) + "];");
+  }
+  out_ << '\n';
+
+  // Which (nb, k, saved) time indices are needed anywhere in the tree.
+  std::set<std::tuple<int, int, bool>> tvars;
+  const std::function<void(const ir::Node&)> scan = [&](const ir::Node& n) {
+    if (n.type == ir::NodeType::Expression) {
+      for (const sym::Ex& e : {n.target, n.value}) {
+        sym::walk(e, [&](const sym::Ex& sub) {
+          if (sub.kind() == sym::Kind::FieldAccess &&
+              sub.node().field.time_varying) {
+            const grid::Function& fn = fields_->at(sub.node().field.id);
+            tvars.emplace(fn.time_buffers(), sub.node().time_offset,
+                          fn.saved());
+          }
+        });
+      }
+    }
+    for (const ir::NodePtr& c : n.body) {
+      scan(*c);
+    }
+  };
+  scan(*iet);
+
+  // Prologue (invariants + hoisted exchanges), then the time loop.
+  for (const ir::NodePtr& top : iet->body) {
+    if (top->type != ir::NodeType::TimeLoop) {
+      if (top->type == ir::NodeType::HaloComm) {
+        // Hoisted exchange of parameter fields: time index is irrelevant.
+        line("ops->update(hctx, " + std::to_string(top->spot_id) + ", 0);");
+      } else {
+        emit_node(*top, /*in_core=*/false);
+      }
+      continue;
+    }
+    line("for (long time = time_m; time <= time_M; time += 1)");
+    line("{");
+    ++indent_;
+    for (const auto& [nb, k, is_saved] : tvars) {
+      if (is_saved) {
+        line("const long " + time_var(nb, k, true) + " = time + " +
+             std::to_string(k) + ";");
+      } else {
+        line("const long " + time_var(nb, k, false) + " = (time + " +
+             std::to_string(nb + k) + ") % " + std::to_string(nb) + ";");
+      }
+    }
+    for (const ir::NodePtr& child : top->body) {
+      emit_node(*child, /*in_core=*/false);
+    }
+    --indent_;
+    line("}");
+  }
+
+  out_ << "  return 0;\n}\n";
+  return out_.str();
+}
+
+}  // namespace
+
+std::string emit_c(const ir::NodePtr& iet, const ir::LoweringInfo& info,
+                   const ir::FieldTable& fields, const grid::Grid& grid,
+                   const ir::CompileOptions& opts) {
+  Emitter emitter(info, fields, grid, opts);
+  return emitter.run(iet);
+}
+
+}  // namespace jitfd::codegen

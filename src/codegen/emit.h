@@ -1,0 +1,36 @@
+// C code generation from the lowered IET (paper Appendix B / Listing 11).
+//
+// The emitted kernel is plain C (compiled by the JIT with the system C
+// compiler) with OpenMP pragmas for the CPU path or OpenACC pragmas for
+// the GPU path. Problem geometry (padded shapes, halo offsets, block
+// sizes) is baked into the source — the kernel is JIT-generated per
+// Operator instance, exactly as Devito does — while field pointers,
+// scalar symbol values and the time range arrive as runtime arguments.
+//
+// Communication and sparse operations are dispatched through a function
+// table (`jitfd_halo_ops`) so the generated code stays freestanding; the
+// table is implemented by the runtime layer over HaloExchange/SparseOp.
+#pragma once
+
+#include <string>
+
+#include "grid/grid.h"
+#include "ir/eq.h"
+#include "ir/iet.h"
+#include "ir/lower.h"
+
+namespace jitfd::codegen {
+
+/// The generated kernel's C signature (kept in one place; the JIT casts
+/// the dlsym'd pointer to this):
+///   int kernel(float** fields, const double* scalars,
+///              long time_m, long time_M,
+///              void* hctx, const jitfd_halo_ops* ops);
+inline constexpr const char* kKernelSymbol = "kernel";
+
+/// Emit the complete C translation unit for `iet`.
+std::string emit_c(const ir::NodePtr& iet, const ir::LoweringInfo& info,
+                   const ir::FieldTable& fields, const grid::Grid& grid,
+                   const ir::CompileOptions& opts);
+
+}  // namespace jitfd::codegen

@@ -1,0 +1,121 @@
+#include "codegen/jit.h"
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "codegen/emit.h"
+
+namespace jitfd::codegen {
+
+namespace {
+
+std::string unique_workdir() {
+  static std::atomic<int> counter{0};
+  std::ostringstream os;
+  const char* base = std::getenv("TMPDIR");
+  os << (base != nullptr ? base : "/tmp") << "/jitfd-" << ::getpid() << '-'
+     << counter.fetch_add(1);
+  return os.str();
+}
+
+std::string run_command(const std::string& cmd, int& exit_code) {
+  std::string output;
+  FILE* pipe = ::popen((cmd + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) {
+    exit_code = -1;
+    return "popen failed";
+  }
+  char buf[512];
+  while (std::fgets(buf, sizeof(buf), pipe) != nullptr) {
+    output += buf;
+  }
+  exit_code = ::pclose(pipe);
+  return output;
+}
+
+}  // namespace
+
+JitKernel::JitKernel(const std::string& source, bool openmp) {
+  workdir_ = unique_workdir();
+  int rc = 0;
+  run_command("mkdir -p " + workdir_, rc);
+  const std::string src_path = workdir_ + "/kernel.c";
+  const std::string so_path = workdir_ + "/kernel.so";
+  {
+    std::ofstream out(src_path);
+    out << source;
+  }
+
+  const char* cc = std::getenv("JITFD_CC");
+  std::ostringstream cmd;
+  cmd << (cc != nullptr ? cc : "cc") << " -O3 -march=native -shared -fPIC ";
+  if (openmp) {
+    cmd << "-fopenmp ";
+  }
+  cmd << "-o " << so_path << ' ' << src_path << " -lm";
+
+  const auto start = std::chrono::steady_clock::now();
+  const std::string diag = run_command(cmd.str(), rc);
+  compile_seconds_ =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (rc != 0) {
+    throw std::runtime_error("jit: compilation failed:\n" + cmd.str() + "\n" +
+                             diag);
+  }
+
+  handle_ = ::dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (handle_ == nullptr) {
+    throw std::runtime_error(std::string("jit: dlopen failed: ") +
+                             ::dlerror());
+  }
+  fn_ = reinterpret_cast<KernelFn>(::dlsym(handle_, kKernelSymbol));
+  if (fn_ == nullptr) {
+    throw std::runtime_error("jit: kernel symbol not found");
+  }
+}
+
+JitKernel::~JitKernel() {
+  if (handle_ != nullptr) {
+    ::dlclose(handle_);
+  }
+  if (!workdir_.empty() && std::getenv("JITFD_KEEP") == nullptr) {
+    int rc = 0;
+    run_command("rm -rf " + workdir_, rc);
+  }
+}
+
+JitKernel::JitKernel(JitKernel&& other) noexcept
+    : handle_(other.handle_),
+      fn_(other.fn_),
+      workdir_(std::move(other.workdir_)),
+      compile_seconds_(other.compile_seconds_) {
+  other.handle_ = nullptr;
+  other.fn_ = nullptr;
+  other.workdir_.clear();
+}
+
+JitKernel& JitKernel::operator=(JitKernel&& other) noexcept {
+  if (this != &other) {
+    this->~JitKernel();
+    new (this) JitKernel(std::move(other));
+  }
+  return *this;
+}
+
+int JitKernel::run(float** fields, const double* scalars, std::int64_t time_m,
+                   std::int64_t time_M, void* hctx,
+                   const JitHaloOps* ops) const {
+  return fn_(fields, scalars, static_cast<long>(time_m),
+             static_cast<long>(time_M), hctx, ops);
+}
+
+}  // namespace jitfd::codegen

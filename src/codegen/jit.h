@@ -1,0 +1,53 @@
+// JIT compilation of generated C: write source to a scratch directory,
+// invoke the system C compiler to build a shared object, dlopen it and
+// resolve the kernel entry point — the same architecture Devito uses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace jitfd::codegen {
+
+/// Function-pointer table handed to the generated kernel for
+/// communication and sparse-operation callbacks. Layout must match the
+/// `jitfd_halo_ops` struct emitted into every kernel.
+struct JitHaloOps {
+  void (*update)(void* ctx, int spot, long time) = nullptr;
+  void (*start)(void* ctx, int spot, long time) = nullptr;
+  void (*wait)(void* ctx, int spot) = nullptr;
+  void (*progress)(void* ctx) = nullptr;
+  void (*sparse)(void* ctx, int sparse_id, long time) = nullptr;
+};
+
+/// A compiled-and-loaded kernel. Movable, not copyable; unloads the
+/// shared object on destruction. Set JITFD_KEEP=1 in the environment to
+/// keep the scratch directory for inspection.
+class JitKernel {
+ public:
+  /// Compile `source` (a C translation unit). `openmp` adds -fopenmp.
+  /// Throws std::runtime_error with the compiler diagnostics on failure.
+  explicit JitKernel(const std::string& source, bool openmp = true);
+  ~JitKernel();
+
+  JitKernel(JitKernel&& other) noexcept;
+  JitKernel& operator=(JitKernel&& other) noexcept;
+  JitKernel(const JitKernel&) = delete;
+  JitKernel& operator=(const JitKernel&) = delete;
+
+  /// Invoke the kernel.
+  int run(float** fields, const double* scalars, std::int64_t time_m,
+          std::int64_t time_M, void* hctx, const JitHaloOps* ops) const;
+
+  /// Wall time spent in the external compiler (for bench_compiler).
+  double compile_seconds() const { return compile_seconds_; }
+
+ private:
+  using KernelFn = int (*)(float**, const double*, long, long, void*,
+                           const JitHaloOps*);
+  void* handle_ = nullptr;
+  KernelFn fn_ = nullptr;
+  std::string workdir_;
+  double compile_seconds_ = 0.0;
+};
+
+}  // namespace jitfd::codegen

@@ -1,0 +1,103 @@
+#include "core/autotune.h"
+
+#include <chrono>
+#include <set>
+
+#include "symbolic/manip.h"
+
+namespace jitfd::core {
+
+namespace {
+
+std::vector<grid::Function*> fields_of(const std::vector<ir::Eq>& eqs) {
+  std::set<int> ids;
+  for (const ir::Eq& eq : eqs) {
+    for (const sym::Ex& e : {eq.lhs, eq.rhs}) {
+      sym::walk(e, [&](const sym::Ex& sub) {
+        if (sub.kind() == sym::Kind::FieldAccess) {
+          ids.insert(sub.node().field.id);
+        }
+      });
+    }
+  }
+  std::vector<grid::Function*> out;
+  for (const int id : ids) {
+    grid::Function* f = grid::lookup_field(id);
+    if (f != nullptr) {
+      out.push_back(f);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::unique_ptr<Operator> autotune_operator(
+    const std::vector<ir::Eq>& eqs, ir::CompileOptions opts,
+    const std::map<std::string, double>& scalars, std::int64_t time_m,
+    int trial_steps, AutotuneReport* report,
+    std::vector<runtime::SparseOp*> sparse_ops) {
+  const std::vector<grid::Function*> fields = fields_of(eqs);
+  const grid::Grid& grid = fields.front()->grid();
+
+  AutotuneReport local_report;
+  local_report.trial_steps = trial_steps;
+
+  if (!grid.distributed()) {
+    opts.mode = ir::MpiMode::None;
+    if (report != nullptr) {
+      *report = local_report;
+    }
+    return std::make_unique<Operator>(eqs, opts, std::move(sparse_ops));
+  }
+
+  // Snapshot all field data (trial steps mutate the wavefields).
+  std::vector<std::vector<float>> snapshots;
+  snapshots.reserve(fields.size());
+  for (const grid::Function* f : fields) {
+    const auto s = f->raw_storage();
+    snapshots.emplace_back(s.begin(), s.end());
+  }
+  const auto restore = [&] {
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      auto dst = fields[i]->raw_storage();
+      std::copy(snapshots[i].begin(), snapshots[i].end(), dst.begin());
+    }
+  };
+
+  const smpi::Communicator& comm = grid.cart()->comm();
+  double best_seconds = 0.0;
+  bool first = true;
+  for (const ir::MpiMode mode :
+       {ir::MpiMode::Basic, ir::MpiMode::Diagonal, ir::MpiMode::Full}) {
+    ir::CompileOptions trial_opts = opts;
+    trial_opts.mode = mode;
+    // Trials run without the sparse operations: their cost is
+    // pattern-independent and some (receiver interpolation) accumulate
+    // externally visible records that must not be polluted.
+    Operator trial(eqs, trial_opts);
+    comm.barrier();
+    const auto start = std::chrono::steady_clock::now();
+    trial.apply(time_m, time_m + trial_steps - 1, scalars);
+    std::vector<double> elapsed{std::chrono::duration<double>(
+                                    std::chrono::steady_clock::now() - start)
+                                    .count()};
+    // The slowest rank gates a synchronous time step.
+    comm.allreduce(std::span<double>(elapsed), smpi::ReduceOp::Max);
+    local_report.seconds[mode] = elapsed[0];
+    if (first || elapsed[0] < best_seconds) {
+      first = false;
+      best_seconds = elapsed[0];
+      local_report.best = mode;
+    }
+    restore();
+  }
+
+  opts.mode = local_report.best;
+  if (report != nullptr) {
+    *report = local_report;
+  }
+  return std::make_unique<Operator>(eqs, opts, std::move(sparse_ops));
+}
+
+}  // namespace jitfd::core

@@ -1,0 +1,42 @@
+// Automatic communication-pattern selection.
+//
+// The paper lists "an automated tuning system for selecting the
+// best-performing MPI pattern without exploring all three options
+// manually" as future work (Section IV-F). This implements it: trial
+// time steps are executed with each candidate pattern on scratch copies
+// of the field data, wall time is reduced across ranks (max — the
+// slowest rank gates a synchronous step), and the fastest pattern wins.
+// Field data is restored after every trial, so tuning is side-effect
+// free and the user applies the returned operator as usual.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/operator.h"
+
+namespace jitfd::core {
+
+struct AutotuneReport {
+  ir::MpiMode best = ir::MpiMode::Basic;
+  /// Measured seconds per trial (per pattern, slowest rank).
+  std::map<ir::MpiMode, double> seconds;
+  int trial_steps = 0;
+};
+
+/// Build an Operator for `eqs` with the fastest communication pattern.
+///
+/// `opts.mode` is ignored; Basic, Diagonal and Full are trialled for
+/// `trial_steps` steps each (using `scalars` for the symbol bindings,
+/// starting at time step `time_m`). On serial grids no trials run and
+/// the mode stays None. The chosen operator is returned fresh (trial
+/// side effects on field data are rolled back).
+std::unique_ptr<Operator> autotune_operator(
+    const std::vector<ir::Eq>& eqs, ir::CompileOptions opts,
+    const std::map<std::string, double>& scalars, std::int64_t time_m = 0,
+    int trial_steps = 3, AutotuneReport* report = nullptr,
+    std::vector<runtime::SparseOp*> sparse_ops = {});
+
+}  // namespace jitfd::core

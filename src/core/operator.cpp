@@ -1,0 +1,233 @@
+#include "core/operator.h"
+
+#include <cstdlib>
+#include <functional>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "codegen/emit.h"
+#include "symbolic/manip.h"
+
+namespace jitfd::core {
+
+namespace {
+
+/// Context handed to the generated kernel's callback table.
+struct JitCtx {
+  runtime::HaloExchange* halo;
+  std::vector<runtime::SparseOp*>* sparse;
+};
+
+void tramp_update(void* c, int spot, long time) {
+  static_cast<JitCtx*>(c)->halo->update(spot, time);
+}
+void tramp_start(void* c, int spot, long time) {
+  static_cast<JitCtx*>(c)->halo->start(spot, time);
+}
+void tramp_wait(void* c, int spot) {
+  static_cast<JitCtx*>(c)->halo->wait(spot);
+}
+void tramp_progress(void* c) {
+  auto* ctx = static_cast<JitCtx*>(c);
+  if (ctx->halo != nullptr) {
+    ctx->halo->progress();
+  }
+}
+void tramp_sparse(void* c, int sparse_id, long time) {
+  static_cast<JitCtx*>(c)->sparse->at(static_cast<std::size_t>(sparse_id))
+      ->apply(time);
+}
+
+}  // namespace
+
+Operator::Operator(std::vector<ir::Eq> eqs, ir::CompileOptions opts,
+                   std::vector<runtime::SparseOp*> sparse_ops)
+    : eqs_(std::move(eqs)), opts_(opts), sparse_ops_(std::move(sparse_ops)) {
+  if (eqs_.empty()) {
+    throw std::invalid_argument("Operator: no equations");
+  }
+  // Resolve every referenced field through the registry.
+  for (const ir::Eq& eq : eqs_) {
+    for (const sym::Ex& e : {eq.lhs, eq.rhs}) {
+      sym::walk(e, [&](const sym::Ex& sub) {
+        if (sub.kind() == sym::Kind::FieldAccess) {
+          grid::Function* f = grid::lookup_field(sub.node().field.id);
+          if (f == nullptr) {
+            throw std::invalid_argument("Operator: field '" +
+                                        sub.node().field.name +
+                                        "' is no longer alive");
+          }
+          fields_.add(f);
+        }
+      });
+    }
+  }
+  grid_ = &fields_.all().front()->grid();
+  for (const grid::Function* f : fields_.all()) {
+    if (&f->grid() != grid_) {
+      throw std::invalid_argument(
+          "Operator: all fields must share one grid");
+    }
+  }
+
+  if (grid_->distributed() && opts_.mode == ir::MpiMode::None) {
+    // The Devito-style environment override (DEVITO_MPI=diag analogue):
+    // JITFD_MPI selects the pattern without touching user code; Basic is
+    // the default, as running distributed without exchanges would
+    // silently compute garbage.
+    const char* env = std::getenv("JITFD_MPI");
+    opts_.mode = env != nullptr ? ir::mode_from_string(env)
+                                : ir::MpiMode::Basic;
+    if (opts_.mode == ir::MpiMode::None) {
+      opts_.mode = ir::MpiMode::Basic;
+    }
+  }
+
+  std::vector<ir::SparseOpDesc> descs;
+  for (std::size_t i = 0; i < sparse_ops_.size(); ++i) {
+    descs.push_back(ir::SparseOpDesc{static_cast<int>(i)});
+  }
+  iet_ = ir::lower_to_iet(eqs_, *grid_, opts_, descs, info_);
+
+  if (grid_->distributed() && opts_.mode != ir::MpiMode::None) {
+    halo_ = std::make_unique<runtime::HaloExchange>(*grid_, opts_.mode);
+    for (const ir::SpotInfo& spot : info_.spots) {
+      halo_->register_spot(spot, fields_);
+    }
+  }
+}
+
+const std::string& Operator::ccode() {
+  if (ccode_.empty()) {
+    ccode_ = codegen::emit_c(iet_, info_, fields_, *grid_, opts_);
+  }
+  return ccode_;
+}
+
+std::string Operator::describe() const {
+  std::ostringstream os;
+  os << "Operator: " << eqs_.size() << " equation(s) on grid (";
+  for (int d = 0; d < grid_->ndims(); ++d) {
+    os << (d ? "," : "") << grid_->shape()[static_cast<std::size_t>(d)];
+  }
+  os << ")";
+  if (grid_->distributed()) {
+    os << ", " << grid_->cart()->size() << " ranks, topology (";
+    for (std::size_t d = 0; d < grid_->topology().size(); ++d) {
+      os << (d ? "," : "") << grid_->topology()[d];
+    }
+    os << "), mode " << ir::to_string(opts_.mode);
+  } else {
+    os << ", serial";
+  }
+  os << "\n  fields:";
+  for (const grid::Function* f : fields_.all()) {
+    os << ' ' << f->name() << (f->field_id().time_varying
+                                   ? "[x" + std::to_string(f->time_buffers()) +
+                                         (f->saved() ? " saved]" : "]")
+                                   : "");
+  }
+  // Per-point flop count of the time-loop statements (remainder
+  // duplicates excluded, as in models::analyze).
+  int flops = 0;
+  int nests = 0;
+  std::set<std::size_t> seen;
+  const std::function<void(const ir::NodePtr&, bool)> visit =
+      [&](const ir::NodePtr& n, bool in_remainder) {
+        if (n->type == ir::NodeType::Section) {
+          const bool rem = n->name == "remainder";
+          for (const auto& c : n->body) {
+            visit(c, in_remainder || rem);
+          }
+          return;
+        }
+        if (n->type == ir::NodeType::Iteration && n->dim == 0 &&
+            !in_remainder) {
+          ++nests;
+        }
+        if (n->type == ir::NodeType::Expression && !in_remainder &&
+            seen.insert(n->value.hash()).second) {
+          flops += sym::count_flops(n->value);
+        }
+        for (const auto& c : n->body) {
+          visit(c, in_remainder);
+        }
+      };
+  for (const auto& top : iet_->body) {
+    if (top->type == ir::NodeType::TimeLoop) {
+      visit(top, false);
+    }
+  }
+  os << "\n  clusters: " << nests << ", flops/point: " << flops
+     << ", hoisted scalars: " << info_.invariants.size();
+  os << "\n  halo spots: " << info_.spots.size();
+  for (const auto& spot : info_.spots) {
+    os << " [" << (spot.hoisted ? "hoisted" : "per-step") << ": "
+       << spot.needs.size() << " field(s)]";
+  }
+  if (!sparse_ops_.empty()) {
+    os << "\n  sparse ops/step: " << sparse_ops_.size();
+  }
+  return os.str();
+}
+
+runtime::HaloStats Operator::halo_stats() const {
+  return halo_ != nullptr ? halo_->stats() : runtime::HaloStats{};
+}
+
+void Operator::apply(std::int64_t time_m, std::int64_t time_M,
+                     std::map<std::string, double> scalars) {
+  // Bind grid spacings automatically (paper: users never pass h_*).
+  for (int d = 0; d < grid_->ndims(); ++d) {
+    scalars.emplace("h_" + grid::Grid::dim_name(d), grid_->spacing(d));
+  }
+  for (const std::string& name : info_.scalar_order) {
+    if (scalars.find(name) == scalars.end()) {
+      throw std::invalid_argument("Operator::apply: unbound symbol '" + name +
+                                  "'");
+    }
+  }
+
+  if (backend_ == Backend::Interpret) {
+    runtime::Interpreter interp(iet_, fields_, halo_.get(), sparse_ops_);
+    interp.run(time_m, time_M, scalars);
+  } else {
+    run_jit(time_m, time_M, scalars);
+  }
+  points_updated_ = grid_->points() * (time_M - time_m + 1);
+}
+
+void Operator::run_jit(std::int64_t time_m, std::int64_t time_M,
+                       const std::map<std::string, double>& scalars) {
+  if (jit_ == nullptr) {
+    jit_ = std::make_unique<codegen::JitKernel>(
+        ccode(), opts_.lang == ir::Lang::OpenMP && opts_.openmp);
+    jit_compile_seconds_ = jit_->compile_seconds();
+  }
+  std::vector<float*> field_ptrs;
+  field_ptrs.reserve(info_.field_order.size());
+  for (const int id : info_.field_order) {
+    field_ptrs.push_back(fields_.at(id).buffer(0));
+  }
+  std::vector<double> scalar_vals;
+  scalar_vals.reserve(info_.scalar_order.size());
+  for (const std::string& name : info_.scalar_order) {
+    scalar_vals.push_back(scalars.at(name));
+  }
+  JitCtx ctx{halo_.get(), &sparse_ops_};
+  codegen::JitHaloOps ops;
+  ops.update = &tramp_update;
+  ops.start = &tramp_start;
+  ops.wait = &tramp_wait;
+  ops.progress = &tramp_progress;
+  ops.sparse = &tramp_sparse;
+  const int rc = jit_->run(field_ptrs.data(), scalar_vals.data(), time_m,
+                           time_M, &ctx, &ops);
+  if (rc != 0) {
+    throw std::runtime_error("Operator: generated kernel returned " +
+                             std::to_string(rc));
+  }
+}
+
+}  // namespace jitfd::core

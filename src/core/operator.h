@@ -1,0 +1,88 @@
+// Operator: the DSL's entry point (paper Listing 1, line 20).
+//
+// Construction runs the whole compiler pipeline: clustering, flop
+// reduction, halo detection, scheduling, pattern lowering. apply() then
+// executes the lowered IET either through the reference interpreter or
+// through JIT-compiled generated C (both drive the same HaloExchange
+// runtime), for time steps time_m..time_M.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "codegen/jit.h"
+#include "ir/eq.h"
+#include "ir/lower.h"
+#include "runtime/halo.h"
+#include "runtime/interpreter.h"
+
+namespace jitfd::core {
+
+class Operator {
+ public:
+  enum class Backend {
+    Interpret,  ///< Reference IET interpreter (default: no external cc).
+    Jit,        ///< Generated C compiled to a shared object and dlopen'd.
+  };
+
+  /// Builds and lowers the operator. Functions referenced by the
+  /// equations are resolved through the field registry, so they must be
+  /// alive (and stay alive for the Operator's lifetime).
+  ///
+  /// If the grid is distributed and opts.mode is None, the mode is
+  /// upgraded to Basic — running distributed without halo exchanges would
+  /// silently compute garbage.
+  explicit Operator(std::vector<ir::Eq> eqs, ir::CompileOptions opts = {},
+                    std::vector<runtime::SparseOp*> sparse_ops = {});
+
+  /// Execute time steps time_m..time_M (inclusive). Spacing symbols
+  /// (h_x, h_y, h_z) are bound automatically from the grid; every other
+  /// free symbol (dt, model constants) must be given in `scalars`.
+  void apply(std::int64_t time_m, std::int64_t time_M,
+             std::map<std::string, double> scalars = {});
+
+  void set_backend(Backend b) { backend_ = b; }
+  Backend backend() const { return backend_; }
+
+  /// Compiler products, for inspection, tests and benchmarks.
+  const ir::LoweringInfo& info() const { return info_; }
+  const ir::NodePtr& iet() const { return iet_; }
+  const ir::CompileOptions& options() const { return opts_; }
+  /// Generated C source (emitted on first call, cached).
+  const std::string& ccode();
+
+  /// Human-readable compilation report (the DEVITO_LOGGING=DEBUG
+  /// analogue): fields, pattern, clusters, halo spots, flop counts.
+  std::string describe() const;
+
+  /// Statistics of the halo-exchange runtime (zeros for serial grids).
+  runtime::HaloStats halo_stats() const;
+  /// External-compiler wall time of the last JIT build (0 if none).
+  double jit_compile_seconds() const { return jit_compile_seconds_; }
+  /// Grid points updated by the last apply() (points * steps), the
+  /// numerator of the paper's GPts/s metric.
+  std::int64_t points_updated() const { return points_updated_; }
+
+ private:
+  void run_jit(std::int64_t time_m, std::int64_t time_M,
+               const std::map<std::string, double>& scalars);
+
+  std::vector<ir::Eq> eqs_;
+  ir::CompileOptions opts_;
+  ir::FieldTable fields_;
+  const grid::Grid* grid_ = nullptr;
+  ir::LoweringInfo info_;
+  ir::NodePtr iet_;
+  std::unique_ptr<runtime::HaloExchange> halo_;
+  std::vector<runtime::SparseOp*> sparse_ops_;
+  Backend backend_ = Backend::Interpret;
+  std::string ccode_;
+  std::unique_ptr<codegen::JitKernel> jit_;
+  double jit_compile_seconds_ = 0.0;
+  std::int64_t points_updated_ = 0;
+};
+
+}  // namespace jitfd::core

@@ -1,0 +1,478 @@
+#include "ir/lower.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <stdexcept>
+
+#include "symbolic/cse.h"
+#include "symbolic/manip.h"
+
+namespace jitfd::ir {
+
+const char* to_string(MpiMode mode) {
+  switch (mode) {
+    case MpiMode::None:
+      return "none";
+    case MpiMode::Basic:
+      return "basic";
+    case MpiMode::Diagonal:
+      return "diagonal";
+    case MpiMode::Full:
+      return "full";
+  }
+  return "?";
+}
+
+MpiMode mode_from_string(const std::string& name) {
+  if (name == "basic" || name == "1") {
+    return MpiMode::Basic;
+  }
+  if (name == "diagonal" || name == "diag" || name == "diag2") {
+    return MpiMode::Diagonal;
+  }
+  if (name == "full") {
+    return MpiMode::Full;
+  }
+  if (name == "none" || name == "0" || name.empty()) {
+    return MpiMode::None;
+  }
+  throw std::invalid_argument("unknown MPI mode '" + name + "'");
+}
+
+namespace {
+
+/// A group of equations sharing one loop nest.
+struct Cluster {
+  std::vector<Eq> eqs;
+  std::vector<sym::Temp> point_temps;  ///< Innermost-scope scalar temps.
+  std::vector<HaloNeed> needs;         ///< Halo exchanges due before it.
+};
+
+bool has_nonzero_offset(const sym::ExprNode& access) {
+  return std::any_of(access.space_offsets.begin(), access.space_offsets.end(),
+                     [](int o) { return o != 0; });
+}
+
+/// Must `eq` start a new cluster given the equations already in `c`?
+/// True when fusing would break a cross-point dependence: `eq` reads, at a
+/// nonzero space offset, a (field, time) that `c` writes (flow), or `eq`
+/// writes a (field, time) that `c` reads at a nonzero offset (anti).
+bool needs_fission(const Cluster& c, const Eq& eq) {
+  for (const sym::Ex& a : sym::field_accesses(eq.rhs)) {
+    const sym::ExprNode& n = a.node();
+    if (!has_nonzero_offset(n)) {
+      continue;
+    }
+    for (const Eq& prev : c.eqs) {
+      if (prev.write_field().id == n.field.id &&
+          prev.write_time_offset() == n.time_offset) {
+        return true;
+      }
+    }
+  }
+  for (const Eq& prev : c.eqs) {
+    for (const sym::Ex& a : sym::field_accesses(prev.rhs)) {
+      const sym::ExprNode& n = a.node();
+      if (has_nonzero_offset(n) && n.field.id == eq.write_field().id &&
+          n.time_offset == eq.write_time_offset()) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<Cluster> build_clusters(const std::vector<Eq>& eqs) {
+  std::vector<Cluster> clusters;
+  for (const Eq& eq : eqs) {
+    if (clusters.empty() || needs_fission(clusters.back(), eq)) {
+      clusters.emplace_back();
+    }
+    clusters.back().eqs.push_back(eq);
+  }
+  return clusters;
+}
+
+/// Apply factorization, global invariant extraction and per-cluster CSE.
+/// Invariant temps are returned through `info`; CSE temps stay with their
+/// cluster. Temp numbering is shared so generated names never collide.
+void flop_reduce(std::vector<Cluster>& clusters, LoweringInfo& info) {
+  std::vector<sym::Ex> all;
+  for (Cluster& c : clusters) {
+    for (Eq& eq : c.eqs) {
+      all.push_back(sym::factorize(eq.rhs));
+    }
+  }
+  auto inv = sym::extract_invariants(std::move(all), "r", 0);
+  info.invariants = std::move(inv.temps);
+  int counter = static_cast<int>(info.invariants.size());
+
+  std::size_t cursor = 0;
+  for (Cluster& c : clusters) {
+    std::vector<sym::Ex> rhss(inv.exprs.begin() + cursor,
+                              inv.exprs.begin() + cursor + c.eqs.size());
+    cursor += c.eqs.size();
+    auto reduced = sym::cse(std::move(rhss), "r", counter);
+    counter += static_cast<int>(reduced.temps.size());
+    c.point_temps = std::move(reduced.temps);
+    for (std::size_t i = 0; i < c.eqs.size(); ++i) {
+      c.eqs[i].rhs = reduced.exprs[i];
+    }
+  }
+}
+
+/// Compute the halo needs of each cluster and the hoisted (one-off)
+/// exchanges of time-invariant parameter fields. The clean-set analysis
+/// implements the paper's HaloSpot drop/merge/hoist pass.
+std::vector<HaloNeed> analyze_halos(std::vector<Cluster>& clusters,
+                                    const grid::Grid& grid, bool halo_opt) {
+  std::vector<HaloNeed> hoisted;
+  if (!grid.distributed()) {
+    return hoisted;
+  }
+  const std::vector<int>& topo = grid.topology();
+
+  // Fields written inside the time loop can never have their exchange
+  // hoisted, even if they are not time-varying (e.g. CIRE scratch arrays
+  // recomputed every step).
+  std::set<int> written;
+  for (const Cluster& c : clusters) {
+    for (const Eq& eq : c.eqs) {
+      written.insert(eq.write_field().id);
+    }
+  }
+
+  // (field id, time offset) pairs whose halo is up to date at this point
+  // of a timestep.
+  std::set<std::pair<int, int>> clean;
+  std::set<int> hoisted_fields;
+
+  for (Cluster& c : clusters) {
+    // Reads live both in the equations and in the CSE temporaries that
+    // flop reduction factored out of them.
+    std::vector<sym::Ex> rhss;
+    for (const Eq& eq : c.eqs) {
+      rhss.push_back(eq.rhs);
+    }
+    for (const sym::Temp& t : c.point_temps) {
+      rhss.push_back(t.value);
+    }
+    for (const ReadFootprint& fp : read_footprints(rhss)) {
+      for (const auto& [time_offset, widths] : fp.widths_by_time) {
+        // Only decomposed dimensions need exchanging.
+        std::vector<int> eff(widths.size(), 0);
+        bool any = false;
+        for (std::size_t d = 0; d < widths.size(); ++d) {
+          if (topo[d] > 1 && widths[d] > 0) {
+            eff[d] = widths[d];
+            any = true;
+          }
+        }
+        if (!any) {
+          continue;
+        }
+        if (halo_opt && !fp.field.time_varying &&
+            written.count(fp.field.id) == 0) {
+          // Parameter field: hoist a single exchange before the time loop
+          // (widest footprint wins if seen twice).
+          auto it = std::find_if(hoisted.begin(), hoisted.end(),
+                                 [&](const HaloNeed& h) {
+                                   return h.field_id == fp.field.id;
+                                 });
+          if (it == hoisted.end()) {
+            hoisted.push_back(HaloNeed{fp.field.id, 0, eff});
+            hoisted_fields.insert(fp.field.id);
+          } else {
+            for (std::size_t d = 0; d < eff.size(); ++d) {
+              it->widths[d] = std::max(it->widths[d], eff[d]);
+            }
+          }
+          continue;
+        }
+        const std::pair<int, int> key{fp.field.id, time_offset};
+        if (halo_opt && clean.count(key) > 0) {
+          continue;  // Dropped: a previous spot already updated it.
+        }
+        // Merge into an existing need of this cluster if present.
+        auto it = std::find_if(c.needs.begin(), c.needs.end(),
+                               [&](const HaloNeed& h) {
+                                 return h.field_id == key.first &&
+                                        h.time_offset == key.second;
+                               });
+        if (it == c.needs.end()) {
+          c.needs.push_back(HaloNeed{fp.field.id, time_offset, eff});
+        } else {
+          for (std::size_t d = 0; d < eff.size(); ++d) {
+            it->widths[d] = std::max(it->widths[d], eff[d]);
+          }
+        }
+        clean.insert(key);
+      }
+    }
+    // Writes dirty the written buffer again.
+    for (const Eq& eq : c.eqs) {
+      clean.erase({eq.write_field().id, eq.write_time_offset()});
+    }
+  }
+  return hoisted;
+}
+
+LoopProps loop_props(int d, int ndims, const CompileOptions& opts,
+                     bool allow_block) {
+  LoopProps props;
+  props.parallel = opts.openmp && d == 0;
+  props.vector = d == ndims - 1;
+  if (allow_block && opts.block > 0 && d < ndims - 1) {
+    props.block = opts.block;
+  }
+  return props;
+}
+
+/// Build the loop nest of one cluster over the given per-dimension bounds.
+NodePtr build_nest(const Cluster& c, int ndims, const CompileOptions& opts,
+                   const std::vector<Bound>& lo, const std::vector<Bound>& hi,
+                   bool allow_block) {
+  std::vector<NodePtr> body;
+  for (const sym::Temp& t : c.point_temps) {
+    body.push_back(make_expression(sym::symbol(t.name), t.value));
+  }
+  for (const Eq& eq : c.eqs) {
+    body.push_back(make_expression(eq.lhs, eq.rhs));
+  }
+  for (int d = ndims - 1; d >= 0; --d) {
+    const auto ud = static_cast<std::size_t>(d);
+    body = {make_iteration(d, lo[ud], hi[ud],
+                           loop_props(d, ndims, opts, allow_block),
+                           std::move(body))};
+  }
+  return body.front();
+}
+
+std::vector<Bound> domain_lo(int nd) {
+  return std::vector<Bound>(static_cast<std::size_t>(nd), Bound::absolute(0));
+}
+std::vector<Bound> domain_hi(int nd) {
+  return std::vector<Bound>(static_cast<std::size_t>(nd), Bound::from_size(0));
+}
+
+/// Full-mode split of a cluster into CORE plus 2 slabs per decomposed
+/// dimension (disjoint cover of DOMAIN \ CORE; see DESIGN.md).
+void build_full_split(const Cluster& c, int nd, const CompileOptions& opts,
+                      std::vector<NodePtr>& out) {
+  std::vector<int> w(static_cast<std::size_t>(nd), 0);
+  for (const HaloNeed& n : c.needs) {
+    for (int d = 0; d < nd; ++d) {
+      const auto ud = static_cast<std::size_t>(d);
+      w[ud] = std::max(w[ud], n.widths[ud]);
+    }
+  }
+  // CORE nest.
+  std::vector<Bound> lo(static_cast<std::size_t>(nd));
+  std::vector<Bound> hi(static_cast<std::size_t>(nd));
+  for (int d = 0; d < nd; ++d) {
+    const auto ud = static_cast<std::size_t>(d);
+    lo[ud] = Bound::absolute(w[ud]);
+    hi[ud] = Bound::from_size(-w[ud]);
+  }
+  out.push_back(make_section(
+      "core", {build_nest(c, nd, opts, lo, hi, /*allow_block=*/true)}));
+
+  // Remainder slabs, ordered low/high per dimension. Dimensions before the
+  // slab dimension are restricted to their core range; later dimensions
+  // span the whole domain.
+  std::vector<NodePtr> remainders;
+  for (int d = 0; d < nd; ++d) {
+    const auto ud = static_cast<std::size_t>(d);
+    if (w[ud] == 0) {
+      continue;
+    }
+    for (const bool high : {false, true}) {
+      std::vector<Bound> slo(static_cast<std::size_t>(nd));
+      std::vector<Bound> shi(static_cast<std::size_t>(nd));
+      for (int q = 0; q < nd; ++q) {
+        const auto uq = static_cast<std::size_t>(q);
+        if (q < d) {
+          slo[uq] = Bound::absolute(w[uq]);
+          shi[uq] = Bound::from_size(-w[uq]);
+        } else if (q > d) {
+          slo[uq] = Bound::absolute(0);
+          shi[uq] = Bound::from_size(0);
+        } else if (high) {
+          slo[uq] = Bound::from_size(-w[uq]);
+          shi[uq] = Bound::from_size(0);
+        } else {
+          slo[uq] = Bound::absolute(0);
+          shi[uq] = Bound::absolute(w[uq]);
+        }
+      }
+      remainders.push_back(
+          build_nest(c, nd, opts, slo, shi, /*allow_block=*/false));
+    }
+  }
+  out.push_back(make_section("remainder", std::move(remainders)));
+}
+
+bool is_reserved_temp_name(const std::string& name) {
+  if (name.size() < 2 || name[0] != 'r') {
+    return false;
+  }
+  return std::all_of(name.begin() + 1, name.end(),
+                     [](char c) { return c >= '0' && c <= '9'; });
+}
+
+void collect_arg_orders(const std::vector<Eq>& eqs, LoweringInfo& info) {
+  std::set<int> fields;
+  std::set<std::string> field_names;
+  std::set<std::string> scalars;
+  for (const Eq& eq : eqs) {
+    for (const sym::Ex& e : {eq.lhs, eq.rhs}) {
+      sym::walk(e, [&](const sym::Ex& sub) {
+        if (sub.kind() == sym::Kind::FieldAccess) {
+          // Distinct fields sharing one name would collide in the
+          // generated C declarations.
+          if (fields.insert(sub.node().field.id).second &&
+              !field_names.insert(sub.node().field.name).second) {
+            throw std::invalid_argument(
+                "lowering: two distinct fields are both named '" +
+                sub.node().field.name + "'");
+          }
+        } else if (sub.kind() == sym::Kind::Symbol) {
+          // rN is the compiler's temp namespace (Listing 11's r0, r1...).
+          if (is_reserved_temp_name(sub.node().name)) {
+            throw std::invalid_argument("lowering: symbol name '" +
+                                        sub.node().name +
+                                        "' is reserved for compiler temps");
+          }
+          scalars.insert(sub.node().name);
+        }
+      });
+    }
+  }
+  info.field_order.assign(fields.begin(), fields.end());
+  info.scalar_order.assign(scalars.begin(), scalars.end());
+}
+
+}  // namespace
+
+NodePtr lower_to_iet(const std::vector<Eq>& eqs, const grid::Grid& grid,
+                     const CompileOptions& opts,
+                     const std::vector<SparseOpDesc>& sparse_ops,
+                     LoweringInfo& info) {
+  if (eqs.empty()) {
+    throw std::invalid_argument("lower_to_iet: no equations");
+  }
+  const int nd = grid.ndims();
+  collect_arg_orders(eqs, info);
+
+  // Stages 1-3.
+  std::vector<Cluster> clusters = build_clusters(eqs);
+  if (opts.flop_reduce) {
+    flop_reduce(clusters, info);
+  }
+  std::vector<HaloNeed> hoisted =
+      analyze_halos(clusters, grid, opts.halo_opt);
+
+  // Stage 4: schedule (pre-lowering IET, with HaloSpot placeholders).
+  std::vector<NodePtr> prologue;
+  for (const sym::Temp& t : info.invariants) {
+    prologue.push_back(make_expression(sym::symbol(t.name), t.value));
+  }
+  if (!hoisted.empty()) {
+    prologue.push_back(make_halo_spot(hoisted));
+  }
+
+  std::vector<NodePtr> step;
+  for (const Cluster& c : clusters) {
+    if (!c.needs.empty()) {
+      step.push_back(make_halo_spot(c.needs));
+    }
+    step.push_back(build_nest(c, nd, opts, domain_lo(nd), domain_hi(nd),
+                              /*allow_block=*/true));
+  }
+  for (const SparseOpDesc& s : sparse_ops) {
+    step.push_back(make_sparse_op(s.id));
+    ++info.sparse_op_count;
+  }
+
+  std::vector<NodePtr> top = prologue;
+  top.push_back(make_time_loop(std::move(step)));
+  NodePtr scheduled = make_callable("Kernel", std::move(top));
+  info.schedule_dump = to_debug_string(scheduled);
+
+  // Stage 5: pattern lowering. Rebuild the callable, replacing HaloSpots.
+  int next_spot = 0;
+  auto register_spot = [&](const std::vector<HaloNeed>& needs, bool is_hoisted) {
+    info.spots.push_back(SpotInfo{next_spot, needs, is_hoisted});
+    return next_spot++;
+  };
+
+  std::vector<NodePtr> new_top;
+  for (const NodePtr& n : scheduled->body) {
+    if (n->type == NodeType::HaloSpot) {
+      if (opts.mode == MpiMode::None) {
+        continue;
+      }
+      const int id = register_spot(n->needs, /*is_hoisted=*/true);
+      new_top.push_back(make_halo_comm(HaloCommKind::Update, n->needs, id));
+      continue;
+    }
+    if (n->type != NodeType::TimeLoop) {
+      new_top.push_back(n);
+      continue;
+    }
+    // Rewrite the time-loop body.
+    std::vector<NodePtr> new_step;
+    const auto& old = n->body;
+    for (std::size_t i = 0; i < old.size(); ++i) {
+      if (old[i]->type != NodeType::HaloSpot) {
+        new_step.push_back(old[i]);
+        continue;
+      }
+      if (opts.mode == MpiMode::None) {
+        continue;
+      }
+      const std::vector<HaloNeed>& needs = old[i]->needs;
+      const int id = register_spot(needs, /*is_hoisted=*/false);
+      if (opts.mode != MpiMode::Full) {
+        new_step.push_back(make_halo_comm(HaloCommKind::Update, needs, id));
+        continue;
+      }
+      // Full mode: start, CORE, wait, remainder — consuming the following
+      // loop nest (there is always one: spots are emitted before nests).
+      assert(i + 1 < old.size() && old[i + 1]->type == NodeType::Iteration);
+      // Reconstruct the cluster from the nest to rebuild split nests.
+      Cluster c;
+      c.needs = needs;
+      const Node* cursor = old[i + 1].get();
+      while (cursor->type == NodeType::Iteration) {
+        assert(!cursor->body.empty());
+        if (cursor->body.front()->type == NodeType::Iteration) {
+          cursor = cursor->body.front().get();
+          continue;
+        }
+        break;
+      }
+      for (const NodePtr& stmt : cursor->body) {
+        assert(stmt->type == NodeType::Expression);
+        if (stmt->target.kind() == sym::Kind::Symbol) {
+          c.point_temps.push_back(
+              sym::Temp{stmt->target.node().name, stmt->value});
+        } else {
+          c.eqs.emplace_back(stmt->target, stmt->value);
+        }
+      }
+      new_step.push_back(make_halo_comm(HaloCommKind::Start, needs, id));
+      std::vector<NodePtr> split;
+      build_full_split(c, nd, opts, split);
+      new_step.push_back(split[0]);  // CORE section.
+      new_step.push_back(make_halo_comm(HaloCommKind::Wait, needs, id));
+      new_step.push_back(split[1]);  // Remainder section.
+      ++i;                           // Skip the consumed nest.
+    }
+    new_top.push_back(make_time_loop(std::move(new_step)));
+  }
+  return make_callable(scheduled->name, std::move(new_top));
+}
+
+}  // namespace jitfd::ir

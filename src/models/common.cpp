@@ -1,0 +1,73 @@
+#include "models/common.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "symbolic/manip.h"
+
+namespace jitfd::models {
+
+void init_damp(grid::Function& damp, int nbl, double peak) {
+  const grid::Grid& g = damp.grid();
+  damp.init([&](std::span<const std::int64_t> gi) {
+    double w = 0.0;
+    for (int d = 0; d < g.ndims(); ++d) {
+      const auto ud = static_cast<std::size_t>(d);
+      const std::int64_t n = g.shape()[ud];
+      const std::int64_t dist = std::min<std::int64_t>(gi[ud], n - 1 - gi[ud]);
+      if (dist < nbl) {
+        const double s =
+            (static_cast<double>(nbl - dist)) / static_cast<double>(nbl);
+        w = std::max(w, s * s);
+      }
+    }
+    return static_cast<float>(peak * w);
+  });
+}
+
+KernelFacts analyze(core::Operator& op, const std::string& name,
+                    int space_order, int fields) {
+  KernelFacts facts;
+  facts.name = name;
+  facts.space_order = space_order;
+  facts.fields = fields;
+
+  // Walk the innermost statements of every loop nest inside the time loop
+  // (skipping remainder duplicates: count the DOMAIN/CORE nest only once
+  // per cluster — we simply count the first section occurrence).
+  std::set<std::size_t> seen_values;
+  const std::function<void(const ir::NodePtr&, bool)> visit =
+      [&](const ir::NodePtr& n, bool in_remainder) {
+        if (n->type == ir::NodeType::Section) {
+          const bool rem = n->name == "remainder";
+          for (const auto& c : n->body) {
+            visit(c, in_remainder || rem);
+          }
+          return;
+        }
+        if (n->type == ir::NodeType::Expression && !in_remainder) {
+          if (!seen_values.insert(n->value.hash()).second) {
+            return;  // Same statement replicated (core vs remainder).
+          }
+          facts.flops_per_point += sym::count_flops(n->value);
+          facts.reads_per_point +=
+              static_cast<int>(sym::field_accesses(n->value).size());
+          if (n->target.kind() == sym::Kind::FieldAccess) {
+            ++facts.writes_per_point;
+          }
+          return;
+        }
+        for (const auto& c : n->body) {
+          visit(c, in_remainder);
+        }
+      };
+  for (const auto& top : op.iet()->body) {
+    if (top->type == ir::NodeType::TimeLoop) {
+      visit(top, false);
+    }
+  }
+  return facts;
+}
+
+}  // namespace jitfd::models

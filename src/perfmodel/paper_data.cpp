@@ -1,0 +1,178 @@
+#include "perfmodel/paper_data.h"
+
+#include <map>
+
+namespace jitfd::perf {
+
+namespace {
+
+constexpr double NA = std::numeric_limits<double>::quiet_NaN();
+
+struct Key {
+  std::string kernel;
+  Target target;
+  int so;
+  ir::MpiMode mode;
+  friend bool operator<(const Key& a, const Key& b) {
+    return std::tie(a.kernel, a.target, a.so, a.mode) <
+           std::tie(b.kernel, b.target, b.so, b.mode);
+  }
+};
+
+using ir::MpiMode;
+
+const std::map<Key, PaperRow>& table() {
+  static const std::map<Key, PaperRow> t = {
+      // --- CPU, acoustic (Tables III-VI) --------------------------------
+      {{"acoustic", Target::Cpu, 4, MpiMode::Basic},
+       {{13.4, 25.0, 48.0, 90.7, 170.1, 292.5, 655.4, 1415.5}}},
+      {{"acoustic", Target::Cpu, 4, MpiMode::Diagonal},
+       {{13.3, 25.7, 49.8, 91.0, 169.3, 287.7, 544.4, 991.6}}},
+      {{"acoustic", Target::Cpu, 4, MpiMode::Full},
+       {{13.9, 25.8, 49.3, 88.0, 180.0, 299.9, 589.8, 1011.1}}},
+      // Table IV is partially illegible in the source; the 128-node basic
+      // point (~1050 GPts/s, 64%) is quoted in the running text.
+      {{"acoustic", Target::Cpu, 8, MpiMode::Basic},
+       {{12.7, NA, NA, NA, 143.2, NA, NA, 1050.0}}},
+      {{"acoustic", Target::Cpu, 8, MpiMode::Diagonal},
+       {{NA, NA, NA, NA, 149.4, NA, NA, NA}}},
+      {{"acoustic", Target::Cpu, 8, MpiMode::Full},
+       {{NA, NA, NA, NA, 137.0, NA, NA, NA}}},
+      {{"acoustic", Target::Cpu, 12, MpiMode::Basic},
+       {{11.5, 20.1, 37.3, 62.5, 111.5, 198.1, 402.3, 769.2}}},
+      {{"acoustic", Target::Cpu, 12, MpiMode::Diagonal},
+       {{12.2, 22.5, 41.5, 69.3, 126.3, 221.7, 371.6, 686.6}}},
+      {{"acoustic", Target::Cpu, 12, MpiMode::Full},
+       {{11.8, 20.6, 37.2, 66.0, 112.1, 175.0, 307.3, 534.5}}},
+      {{"acoustic", Target::Cpu, 16, MpiMode::Basic},
+       {{NA, NA, NA, NA, 101.4, NA, NA, NA}}},
+      {{"acoustic", Target::Cpu, 16, MpiMode::Diagonal},
+       {{11.4, 20.6, 37.8, 67.1, 114.0, 194.9, 326.9, 557.2}}},
+      {{"acoustic", Target::Cpu, 16, MpiMode::Full},
+       {{10.7, 19.1, 34.2, 60.8, 99.7, 158.9, 253.6, 465.7}}},
+      // --- CPU, elastic (Tables VII-X) -----------------------------------
+      {{"elastic", Target::Cpu, 4, MpiMode::Basic},
+       {{1.8, 3.3, NA, 12.0, 22.0, 40.5, 74.6, 123.0}}},
+      {{"elastic", Target::Cpu, 4, MpiMode::Diagonal},
+       {{1.9, 3.6, 6.8, 12.7, 23.6, 45.0, 77.5, 134.6}}},
+      {{"elastic", Target::Cpu, 4, MpiMode::Full},
+       {{1.9, 3.4, 6.0, 11.8, 21.4, 37.7, 66.7, 106.9}}},
+      {{"elastic", Target::Cpu, 8, MpiMode::Basic},
+       {{1.7, NA, NA, 10.3, NA, NA, NA, 97.3}}},
+      {{"elastic", Target::Cpu, 8, MpiMode::Diagonal},
+       {{1.8, 3.3, 6.1, 11.2, 20.5, 37.4, 65.0, 106.3}}},
+      {{"elastic", Target::Cpu, 8, MpiMode::Full},
+       {{1.7, 3.1, 5.5, 9.8, 17.0, 29.6, 51.4, 79.3}}},
+      {{"elastic", Target::Cpu, 12, MpiMode::Basic},
+       {{1.5, 2.7, 4.2, 8.8, 15.8, 22.2, 50.9, 80.0}}},
+      {{"elastic", Target::Cpu, 12, MpiMode::Diagonal},
+       {{1.5, 2.7, 5.2, 9.4, 17.1, 30.9, 53.4, 90.8}}},
+      {{"elastic", Target::Cpu, 12, MpiMode::Full},
+       {{1.4, 2.5, 4.9, 8.4, 14.1, 25.1, 41.0, 65.7}}},
+      {{"elastic", Target::Cpu, 16, MpiMode::Basic},
+       {{1.0, 2.0, 3.0, 6.9, 12.4, 20.7, 39.9, 62.3}}},
+      {{"elastic", Target::Cpu, 16, MpiMode::Diagonal},
+       {{1.2, 2.3, 3.9, 7.8, 14.2, 25.3, 43.7, 71.5}}},
+      {{"elastic", Target::Cpu, 16, MpiMode::Full},
+       {{1.2, 2.1, 3.8, 6.7, 12.0, 19.9, 35.2, 55.2}}},
+      // --- CPU, TTI (Tables XI-XIV) ---------------------------------------
+      {{"tti", Target::Cpu, 4, MpiMode::Basic},
+       {{4.3, 8.2, 16.2, 32.8, 62.7, 118.4, 228.2, 388.7}}},
+      {{"tti", Target::Cpu, 4, MpiMode::Diagonal},
+       {{4.4, 8.7, 17.1, 32.8, 63.0, 117.9, 209.9, 361.9}}},
+      {{"tti", Target::Cpu, 4, MpiMode::Full},
+       {{4.2, 8.2, 15.9, 32.3, 60.9, 111.7, 189.7, 321.3}}},
+      {{"tti", Target::Cpu, 8, MpiMode::Basic},
+       {{3.5, 6.4, 11.8, 26.9, 51.0, 90.7, 178.9, 314.4}}},
+      {{"tti", Target::Cpu, 8, MpiMode::Diagonal},
+       {{3.6, 6.9, 13.9, 27.9, 53.6, 95.6, 176.1, 303.1}}},
+      {{"tti", Target::Cpu, 8, MpiMode::Full},
+       {{3.3, 6.3, 12.7, 24.4, 47.0, 84.7, 143.2, 238.6}}},
+      {{"tti", Target::Cpu, 12, MpiMode::Basic},
+       {{2.7, 4.6, 8.2, 20.2, NA, NA, 141.7, 235.2}}},
+      {{"tti", Target::Cpu, 12, MpiMode::Diagonal},
+       {{2.7, 5.2, 9.3, 22.2, 41.7, 79.9, 142.3, 241.8}}},
+      {{"tti", Target::Cpu, 12, MpiMode::Full},
+       {{2.8, 5.3, 9.8, 18.5, 37.1, 66.6, 111.6, 170.4}}},
+      {{"tti", Target::Cpu, 16, MpiMode::Basic},
+       {{2.0, 3.7, 6.4, 15.9, 30.0, 55.5, 112.2, 181.0}}},
+      {{"tti", Target::Cpu, 16, MpiMode::Diagonal},
+       {{2.1, 4.0, 7.6, 17.7, 32.2, 63.5, 116.3, 194.0}}},
+      {{"tti", Target::Cpu, 16, MpiMode::Full},
+       {{2.2, 4.3, 7.8, 14.8, 27.1, 49.5, 82.1, 166.0}}},
+      // --- CPU, viscoelastic (Tables XV-XVIII) ----------------------------
+      {{"viscoelastic", Target::Cpu, 4, MpiMode::Basic},
+       {{1.2, 2.3, 4.4, 8.1, 14.5, 23.9, 44.1, 78.3}}},
+      {{"viscoelastic", Target::Cpu, 4, MpiMode::Diagonal},
+       {{1.3, 2.4, 4.6, 8.3, 15.5, 25.8, 44.2, 77.8}}},
+      {{"viscoelastic", Target::Cpu, 4, MpiMode::Full},
+       {{1.2, 2.2, 4.0, 7.4, 13.5, 20.5, 31.5, 51.0}}},
+      {{"viscoelastic", Target::Cpu, 8, MpiMode::Basic},
+       {{NA, NA, NA, NA, 11.6, NA, NA, NA}}},
+      {{"viscoelastic", Target::Cpu, 8, MpiMode::Diagonal},
+       {{1.2, 2.2, 4.4, 7.6, 12.8, 23.8, 41.3, 72.2}}},
+      {{"viscoelastic", Target::Cpu, 8, MpiMode::Full},
+       {{1.1, 1.9, 3.5, 6.5, 10.6, 17.5, 30.3, 44.0}}},
+      {{"viscoelastic", Target::Cpu, 12, MpiMode::Basic},
+       {{1.0, 1.9, 3.3, 6.2, 11.0, 18.3, 33.3, 54.3}}},
+      {{"viscoelastic", Target::Cpu, 12, MpiMode::Diagonal},
+       {{1.1, 2.0, 3.7, 6.8, 12.4, 22.1, 37.4, 62.1}}},
+      {{"viscoelastic", Target::Cpu, 12, MpiMode::Full},
+       {{1.0, 1.8, 3.2, 5.5, 8.7, 14.6, 23.7, 35.6}}},
+      {{"viscoelastic", Target::Cpu, 16, MpiMode::Basic},
+       {{0.7, 1.3, 2.7, 4.9, 8.6, 14.8, 27.0, 42.0}}},
+      {{"viscoelastic", Target::Cpu, 16, MpiMode::Diagonal},
+       {{0.9, 1.8, 3.4, 5.9, 10.5, 19.1, 32.0, 49.5}}},
+      {{"viscoelastic", Target::Cpu, 16, MpiMode::Full},
+       {{0.8, 1.5, 2.8, 4.6, 7.9, 13.6, 22.8, 33.5}}},
+      // --- GPU, basic only (Tables XIX-XXXIV) ------------------------------
+      {{"acoustic", Target::Gpu, 4, MpiMode::Basic},
+       {{34.3, 65.6, 123.3, 200.2, 348.6, 583.0, 985.2, 1535.0}}},
+      {{"acoustic", Target::Gpu, 8, MpiMode::Basic},
+       {{31.2, 59.4, 121.7, 199.2, 333.1, 565.5, 970.1, 1474.5}}},
+      {{"acoustic", Target::Gpu, 12, MpiMode::Basic},
+       {{28.8, 61.0, 104.7, 160.2, 271.2, 434.6, 742.2, 1140.7}}},
+      {{"acoustic", Target::Gpu, 16, MpiMode::Basic},
+       {{25.8, 47.9, 90.7, 143.7, 242.4, 387.8, 666.2, 1017.3}}},
+      {{"elastic", Target::Gpu, 4, MpiMode::Basic},
+       {{6.5, 11.7, 22.0, 34.2, 58.0, 95.4, 143.9, 198.9}}},
+      {{"elastic", Target::Gpu, 8, MpiMode::Basic},
+       {{5.2, 9.4, 16.8, 27.2, 45.5, 72.7, 114.1, 164.2}}},
+      {{"elastic", Target::Gpu, 12, MpiMode::Basic},
+       {{4.0, 7.2, 13.3, 21.7, 35.8, 57.2, 92.7, 131.9}}},
+      {{"elastic", Target::Gpu, 16, MpiMode::Basic},
+       {{2.5, 4.6, 8.6, 15.4, 26.0, 42.4, 68.9, 100.7}}},
+      {{"tti", Target::Gpu, 4, MpiMode::Basic},
+       {{10.5, 20.3, 37.8, 63.8, 109.6, 200.1, 354.9, 541.8}}},
+      {{"tti", Target::Gpu, 8, MpiMode::Basic},
+       {{8.5, 16.2, 31.0, 53.1, 90.6, 163.8, 289.1, 460.7}}},
+      {{"tti", Target::Gpu, 12, MpiMode::Basic},
+       {{7.5, 14.4, 27.4, 46.0, 78.0, 138.9, 250.3, 405.1}}},
+      {{"tti", Target::Gpu, 16, MpiMode::Basic},
+       {{5.8, 11.2, 21.3, 38.2, 65.7, 115.8, 205.2, 322.4}}},
+      {{"viscoelastic", Target::Gpu, 4, MpiMode::Basic},
+       {{3.4, 6.3, 11.9, 19.2, 33.6, 57.4, 90.8, 128.1}}},
+      {{"viscoelastic", Target::Gpu, 8, MpiMode::Basic},
+       {{2.8, 5.3, 9.4, 16.0, 27.9, 46.0, 73.7, 107.8}}},
+      {{"viscoelastic", Target::Gpu, 12, MpiMode::Basic},
+       {{2.5, 4.7, 8.5, 13.1, 23.0, 37.4, 60.4, 88.4}}},
+      {{"viscoelastic", Target::Gpu, 16, MpiMode::Basic},
+       {{1.6, 3.1, 6.2, 10.7, 18.6, 31.0, 48.9, 71.6}}},
+  };
+  return t;
+}
+
+}  // namespace
+
+PaperRow paper_strong(const std::string& kernel, Target target, int so,
+                      ir::MpiMode mode) {
+  const auto it = table().find(Key{kernel, target, so, mode});
+  if (it == table().end()) {
+    PaperRow row;
+    row.gpts.fill(NA);
+    return row;
+  }
+  return it->second;
+}
+
+}  // namespace jitfd::perf

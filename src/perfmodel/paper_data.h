@@ -1,0 +1,40 @@
+// The paper's published throughput tables (Appendix D/E, Tables III to
+// XXXIV), embedded verbatim for side-by-side comparison in the benchmark
+// harness and EXPERIMENTS.md. Entries that are illegible in the source
+// PDF are NaN. These values are REFERENCE DATA ONLY: the scaling model
+// never reads them except through its two documented calibration points.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <string>
+
+#include "ir/lower.h"
+#include "perfmodel/kernel_spec.h"
+
+namespace jitfd::perf {
+
+/// Unit counts of every scaling table column: 1, 2, ..., 128.
+inline constexpr std::array<int, 8> kUnitColumns{1, 2, 4, 8, 16, 32, 64, 128};
+
+/// One published table row: GPts/s per unit-count column.
+struct PaperRow {
+  std::array<double, 8> gpts;
+  bool available() const {
+    for (const double v : gpts) {
+      if (!std::isnan(v)) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+/// Strong-scaling reference: Tables III-XVIII (CPU, three modes) and
+/// XIX-XXXIV (GPU, basic only — the paper's GPU runs support only basic).
+/// Returns a row with all-NaN when the paper does not report the
+/// combination (e.g. GPU diagonal/full).
+PaperRow paper_strong(const std::string& kernel, Target target, int so,
+                      ir::MpiMode mode);
+
+}  // namespace jitfd::perf

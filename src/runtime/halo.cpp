@@ -1,0 +1,390 @@
+#include "runtime/halo.h"
+
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+namespace jitfd::runtime {
+
+namespace {
+
+// Tag layout: spot | field-slot | direction. Stays well below the
+// reserved gather tag range (1 << 24).
+constexpr int kMaxFieldsPerSpot = 64;
+constexpr int kMaxDirections = 27;  // 3^3.
+
+int dir_index(const std::vector<int>& o) {
+  int idx = 0;
+  int scale = 1;
+  for (const int v : o) {
+    idx += (v + 1) * scale;
+    scale *= 3;
+  }
+  return idx;
+}
+
+std::vector<int> negate(const std::vector<int>& o) {
+  std::vector<int> r(o.size());
+  for (std::size_t d = 0; d < o.size(); ++d) {
+    r[d] = -o[d];
+  }
+  return r;
+}
+
+int make_tag(int spot, int field_slot, int dir) {
+  assert(field_slot < kMaxFieldsPerSpot && dir < kMaxDirections);
+  return (spot * kMaxFieldsPerSpot + field_slot) * kMaxDirections + dir;
+}
+
+}  // namespace
+
+std::int64_t HaloExchange::Box::count() const {
+  std::int64_t c = 1;
+  for (std::size_t d = 0; d < lo.size(); ++d) {
+    c *= hi[d] - lo[d];
+  }
+  return c;
+}
+
+HaloExchange::HaloExchange(const grid::Grid& grid, ir::MpiMode mode)
+    : grid_(&grid), mode_(mode) {}
+
+namespace {
+
+/// Compute send/recv boxes of `fn` for direction `o` with exchange widths
+/// `w`. `extend_below[d]` widens zero-offset dimensions below the sweep
+/// axis into the already-filled halo (the basic pattern's corner
+/// propagation); it is all-false for the single-step patterns.
+struct BoxPair {
+  std::vector<std::int64_t> slo, shi, rlo, rhi;
+};
+
+BoxPair make_boxes(const grid::Function& fn, const std::vector<int>& w,
+                   const std::vector<int>& o,
+                   const std::vector<bool>& extend) {
+  const auto& n = fn.local_shape();
+  const std::int64_t L = fn.lpad();
+  const std::size_t nd = n.size();
+  BoxPair b;
+  b.slo.resize(nd);
+  b.shi.resize(nd);
+  b.rlo.resize(nd);
+  b.rhi.resize(nd);
+  for (std::size_t d = 0; d < nd; ++d) {
+    const std::int64_t wd = w[d];
+    switch (o[d]) {
+      case -1:
+        b.slo[d] = L;
+        b.shi[d] = L + wd;
+        b.rlo[d] = L - wd;
+        b.rhi[d] = L;
+        break;
+      case +1:
+        b.slo[d] = L + n[d] - wd;
+        b.shi[d] = L + n[d];
+        b.rlo[d] = L + n[d];
+        b.rhi[d] = L + n[d] + wd;
+        break;
+      default: {
+        const std::int64_t ext = extend[d] ? wd : 0;
+        b.slo[d] = L - ext;
+        b.shi[d] = L + n[d] + ext;
+        b.rlo[d] = b.slo[d];
+        b.rhi[d] = b.shi[d];
+        break;
+      }
+    }
+  }
+  return b;
+}
+
+}  // namespace
+
+int HaloExchange::register_spot(const ir::SpotInfo& spot,
+                                const ir::FieldTable& fields) {
+  if (static_cast<int>(spots_.size()) != spot.id) {
+    throw std::logic_error("HaloExchange: spots must register in id order");
+  }
+  Spot s;
+  const bool prealloc =
+      mode_ == ir::MpiMode::Diagonal || mode_ == ir::MpiMode::Full;
+  for (std::size_t slot = 0; slot < spot.needs.size(); ++slot) {
+    const ir::HaloNeed& need = spot.needs[slot];
+    FieldPlan plan;
+    plan.fn = &fields.at(need.field_id);
+    plan.time_offset = need.time_offset;
+    plan.widths = need.widths;
+    if (prealloc && grid_->distributed()) {
+      // One plan per star-neighbourhood direction whose exchanged volume
+      // is nonzero; buffers preallocated here (Table I: "pre-alloc").
+      const std::vector<bool> no_extend(need.widths.size(), false);
+      for (const auto& o : grid_->cart()->star_neighborhood()) {
+        bool involved = false;
+        bool degenerate = false;
+        for (std::size_t d = 0; d < o.size(); ++d) {
+          if (o[d] != 0) {
+            involved = true;
+            if (need.widths[d] == 0) {
+              degenerate = true;
+            }
+          }
+        }
+        if (!involved || degenerate) {
+          continue;
+        }
+        DirPlan dp;
+        dp.neighbor = grid_->cart()->neighbor(o);
+        const BoxPair b = make_boxes(*plan.fn, need.widths, o, no_extend);
+        dp.send_box = Box{b.slo, b.shi};
+        dp.recv_box = Box{b.rlo, b.rhi};
+        dp.send_tag = make_tag(spot.id, static_cast<int>(slot), dir_index(o));
+        // The message filling our halo on side `o` comes from the
+        // neighbour at `o`, which sent it along `-o` in its own frame.
+        dp.recv_tag =
+            make_tag(spot.id, static_cast<int>(slot), dir_index(negate(o)));
+        dp.send_buf.resize(static_cast<std::size_t>(dp.send_box.count()));
+        dp.recv_buf.resize(static_cast<std::size_t>(dp.recv_box.count()));
+        plan.dirs.push_back(std::move(dp));
+      }
+    }
+    s.fields.push_back(std::move(plan));
+  }
+  spots_.push_back(std::move(s));
+  inflight_time_.push_back(0);
+  return spot.id;
+}
+
+int HaloExchange::buffer_index(const grid::Function& fn, int time_offset,
+                               std::int64_t time) const {
+  return fn.buffer_index(time_offset, time);
+}
+
+namespace {
+
+/// Visit every contiguous row (innermost-dimension run) of `box` within an
+/// array whose padded extents define the strides; `fn(offset, row_len)` is
+/// called once per row with the linear offset of its first element.
+template <typename RowFn>
+void for_each_row(const grid::Function& field, const HaloExchange::Box& box,
+                  RowFn&& fn) {
+  const std::size_t nd = box.lo.size();
+  std::vector<std::int64_t> strides(nd, 1);
+  for (std::size_t d = nd - 1; d-- > 0;) {
+    strides[d] = strides[d + 1] * field.padded_shape()[d + 1];
+  }
+  const std::int64_t row = box.hi[nd - 1] - box.lo[nd - 1];
+  if (row <= 0) {
+    return;
+  }
+  std::int64_t rows = 1;
+  for (std::size_t d = 0; d + 1 < nd; ++d) {
+    if (box.hi[d] <= box.lo[d]) {
+      return;
+    }
+    rows *= box.hi[d] - box.lo[d];
+  }
+  std::vector<std::int64_t> idx(box.lo.begin(), box.lo.end());
+  for (std::int64_t r = 0; r < rows; ++r) {
+    std::int64_t off = 0;
+    for (std::size_t d = 0; d < nd; ++d) {
+      off += idx[d] * strides[d];
+    }
+    fn(off, row);
+    for (std::size_t d = nd - 1; d-- > 0;) {
+      if (++idx[d] < box.hi[d]) {
+        break;
+      }
+      idx[d] = box.lo[d];
+    }
+  }
+}
+
+}  // namespace
+
+void HaloExchange::pack(const grid::Function& fn, int buf_idx, const Box& box,
+                        std::vector<float>& out) const {
+  out.resize(static_cast<std::size_t>(box.count()));
+  const float* base = fn.buffer(buf_idx);
+  std::size_t cursor = 0;
+  for_each_row(fn, box, [&](std::int64_t off, std::int64_t row) {
+    std::memcpy(out.data() + cursor, base + off,
+                static_cast<std::size_t>(row) * sizeof(float));
+    cursor += static_cast<std::size_t>(row);
+  });
+  assert(cursor == out.size());
+}
+
+void HaloExchange::unpack(grid::Function& fn, int buf_idx, const Box& box,
+                          const std::vector<float>& in) const {
+  float* base = fn.buffer(buf_idx);
+  std::size_t cursor = 0;
+  for_each_row(fn, box, [&](std::int64_t off, std::int64_t row) {
+    std::memcpy(base + off, in.data() + cursor,
+                static_cast<std::size_t>(row) * sizeof(float));
+    cursor += static_cast<std::size_t>(row);
+  });
+  assert(cursor == in.size());
+}
+
+void HaloExchange::update(int spot, std::int64_t time) {
+  if (!grid_->distributed()) {
+    return;
+  }
+  Spot& s = spots_.at(static_cast<std::size_t>(spot));
+  if (mode_ == ir::MpiMode::Basic || mode_ == ir::MpiMode::None) {
+    update_basic(s, time);
+  } else {
+    post_star(s, time);
+    complete_star(s, time);
+  }
+  ++stats_.updates;
+}
+
+void HaloExchange::update_basic(Spot& s, std::int64_t time) {
+  const smpi::CartComm& cart = *grid_->cart();
+  const smpi::Communicator& comm = cart.comm();
+  const int nd = cart.ndims();
+  const int spot_id = static_cast<int>(&s - spots_.data());
+
+  // One sweep per dimension; dimensions already swept are extended so
+  // corner data propagates without explicit diagonal messages.
+  for (int d = 0; d < nd; ++d) {
+    for (std::size_t slot = 0; slot < s.fields.size(); ++slot) {
+      FieldPlan& plan = s.fields[slot];
+      const auto ud = static_cast<std::size_t>(d);
+      if (plan.widths[ud] == 0 || cart.dims()[ud] == 1) {
+        continue;
+      }
+      const int buf = buffer_index(*plan.fn, plan.time_offset, time);
+      std::vector<bool> extend(static_cast<std::size_t>(nd), false);
+      for (int q = 0; q < d; ++q) {
+        extend[static_cast<std::size_t>(q)] = plan.widths[static_cast<std::size_t>(q)] > 0;
+      }
+      // Buffers allocated at call time: the basic pattern's documented
+      // behaviour (Table I, "runtime (C/C++)" allocation).
+      std::vector<float> send_lo;
+      std::vector<float> send_hi;
+      std::vector<float> recv_lo;
+      std::vector<float> recv_hi;
+      std::vector<int> o(static_cast<std::size_t>(nd), 0);
+
+      o[ud] = -1;
+      const BoxPair low = make_boxes(*plan.fn, plan.widths, o, extend);
+      const int low_nbr = cart.neighbor(o);
+      o[ud] = +1;
+      const BoxPair high = make_boxes(*plan.fn, plan.widths, o, extend);
+      const int high_nbr = cart.neighbor(o);
+
+      smpi::Request rx_lo;
+      smpi::Request rx_hi;
+      if (low_nbr != smpi::kProcNull) {
+        recv_lo.resize(static_cast<std::size_t>(Box{low.rlo, low.rhi}.count()));
+        o[ud] = -1;
+        rx_lo = comm.irecv(recv_lo.data(), recv_lo.size() * sizeof(float),
+                           low_nbr,
+                           make_tag(spot_id, static_cast<int>(slot),
+                                    dir_index(negate(o))));
+      }
+      if (high_nbr != smpi::kProcNull) {
+        recv_hi.resize(
+            static_cast<std::size_t>(Box{high.rlo, high.rhi}.count()));
+        o[ud] = +1;
+        rx_hi = comm.irecv(recv_hi.data(), recv_hi.size() * sizeof(float),
+                           high_nbr,
+                           make_tag(spot_id, static_cast<int>(slot),
+                                    dir_index(negate(o))));
+      }
+      if (low_nbr != smpi::kProcNull) {
+        pack(*plan.fn, buf, Box{low.slo, low.shi}, send_lo);
+        o[ud] = -1;
+        comm.send(send_lo.data(), send_lo.size() * sizeof(float), low_nbr,
+                  make_tag(spot_id, static_cast<int>(slot), dir_index(o)));
+        ++stats_.messages;
+        stats_.bytes_sent += send_lo.size() * sizeof(float);
+      }
+      if (high_nbr != smpi::kProcNull) {
+        pack(*plan.fn, buf, Box{high.slo, high.shi}, send_hi);
+        o[ud] = +1;
+        comm.send(send_hi.data(), send_hi.size() * sizeof(float), high_nbr,
+                  make_tag(spot_id, static_cast<int>(slot), dir_index(o)));
+        ++stats_.messages;
+        stats_.bytes_sent += send_hi.size() * sizeof(float);
+      }
+      if (!rx_lo.is_null()) {
+        rx_lo.wait();
+        unpack(*plan.fn, buf, Box{low.rlo, low.rhi}, recv_lo);
+      }
+      if (!rx_hi.is_null()) {
+        rx_hi.wait();
+        unpack(*plan.fn, buf, Box{high.rlo, high.rhi}, recv_hi);
+      }
+    }
+  }
+}
+
+void HaloExchange::post_star(Spot& s, std::int64_t time) {
+  const smpi::Communicator& comm = grid_->cart()->comm();
+  assert(!s.in_flight);
+  for (FieldPlan& plan : s.fields) {
+    const int buf = buffer_index(*plan.fn, plan.time_offset, time);
+    // Post all receives first, then pack+send — the single-step schedule.
+    for (DirPlan& dp : plan.dirs) {
+      s.pending.push_back(comm.irecv(dp.recv_buf.data(),
+                                     dp.recv_buf.size() * sizeof(float),
+                                     dp.neighbor, dp.recv_tag));
+    }
+    for (DirPlan& dp : plan.dirs) {
+      pack(*plan.fn, buf, dp.send_box, dp.send_buf);
+      comm.send(dp.send_buf.data(), dp.send_buf.size() * sizeof(float),
+                dp.neighbor, dp.send_tag);
+      ++stats_.messages;
+      stats_.bytes_sent += dp.send_buf.size() * sizeof(float);
+    }
+  }
+  s.in_flight = true;
+  inflight_time_[static_cast<std::size_t>(&s - spots_.data())] = time;
+}
+
+void HaloExchange::complete_star(Spot& s, std::int64_t time) {
+  for (smpi::Request& r : s.pending) {
+    r.wait();
+  }
+  s.pending.clear();
+  for (FieldPlan& plan : s.fields) {
+    const int buf = buffer_index(*plan.fn, plan.time_offset, time);
+    for (DirPlan& dp : plan.dirs) {
+      unpack(*plan.fn, buf, dp.recv_box, dp.recv_buf);
+    }
+  }
+  s.in_flight = false;
+}
+
+void HaloExchange::start(int spot, std::int64_t time) {
+  if (!grid_->distributed()) {
+    return;
+  }
+  post_star(spots_.at(static_cast<std::size_t>(spot)), time);
+  ++stats_.starts;
+}
+
+void HaloExchange::wait(int spot) {
+  if (!grid_->distributed()) {
+    return;
+  }
+  Spot& s = spots_.at(static_cast<std::size_t>(spot));
+  if (!s.in_flight) {
+    return;
+  }
+  complete_star(s, inflight_time_[static_cast<std::size_t>(spot)]);
+}
+
+void HaloExchange::progress() {
+  ++stats_.progress_calls;
+  for (Spot& s : spots_) {
+    for (const smpi::Request& r : s.pending) {
+      (void)r.test();
+    }
+  }
+}
+
+}  // namespace jitfd::runtime

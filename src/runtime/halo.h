@@ -1,0 +1,120 @@
+// Halo-exchange runtime: the three computation/communication patterns of
+// the paper (Section III-h, Table I), executing over the SMPI substrate.
+//
+//   basic    — blocking, face-only messages, issued as one multi-step
+//              sweep per dimension (corner data propagates through the
+//              sweeps), exchange buffers allocated at call time.
+//   diagonal — single-step: all (up to 26 in 3D) neighbours including
+//              diagonals posted at once, preallocated buffers, blocking
+//              completion.
+//   full     — same message set as diagonal but asynchronous: start()
+//              posts the exchanges, computation proceeds on the CORE
+//              region, wait() completes and unpacks, after which the
+//              remainder regions are computed. progress() is the
+//              MPI_Test hook the generated code calls inside blocked
+//              loops to prod the progress engine.
+//
+// Both the IET interpreter and the JIT-compiled generated code drive this
+// runtime through the same spot-id interface, so pattern correctness is
+// exercised by every functional test.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "grid/function.h"
+#include "ir/lower.h"
+#include "smpi/cart.h"
+
+namespace jitfd::runtime {
+
+/// Per-exchange statistics (used by tests asserting Table I message
+/// counts and by the measured benchmarks).
+struct HaloStats {
+  std::uint64_t updates = 0;   ///< Blocking update() calls completed.
+  std::uint64_t starts = 0;    ///< Asynchronous start() calls.
+  std::uint64_t messages = 0;  ///< Point-to-point messages sent.
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t progress_calls = 0;
+};
+
+class HaloExchange {
+ public:
+  /// `grid` must outlive the exchanger. For a serial grid all operations
+  /// are no-ops (the compiler emits no halo calls in that case anyway).
+  HaloExchange(const grid::Grid& grid, ir::MpiMode mode);
+
+  ir::MpiMode mode() const { return mode_; }
+
+  /// Register one lowered halo spot. Must be called in spot-id order
+  /// (ids are assigned 0,1,... by the compiler); `fields` resolves the
+  /// symbolic field ids to data. Preallocates buffers for the
+  /// diagonal/full patterns.
+  int register_spot(const ir::SpotInfo& spot, const ir::FieldTable& fields);
+
+  /// Blocking exchange of every need of `spot` at absolute time step
+  /// `time` (mapped to modulo buffer indices per field).
+  void update(int spot, std::int64_t time);
+
+  /// Post the asynchronous exchange (full mode).
+  void start(int spot, std::int64_t time);
+  /// Complete the asynchronous exchange and unpack (full mode).
+  void wait(int spot);
+  /// Nonblocking progress probe (the generated code's MPI_Test call).
+  void progress();
+
+  const HaloStats& stats() const { return stats_; }
+
+  /// An axis-aligned box in raw (ghost-inclusive) local coordinates.
+  /// Public so the pack/unpack row iterator (and its tests) can use it.
+  struct Box {
+    std::vector<std::int64_t> lo;
+    std::vector<std::int64_t> hi;
+    std::int64_t count() const;
+  };
+
+ private:
+
+  /// One neighbour message of one field of one spot.
+  struct DirPlan {
+    int neighbor = smpi::kProcNull;
+    int send_tag = 0;
+    int recv_tag = 0;
+    Box send_box;
+    Box recv_box;
+    std::vector<float> send_buf;  ///< Preallocated (diagonal/full).
+    std::vector<float> recv_buf;
+  };
+
+  struct FieldPlan {
+    grid::Function* fn = nullptr;
+    int time_offset = 0;
+    std::vector<int> widths;
+    std::vector<DirPlan> dirs;  ///< Star neighbourhood (diagonal/full).
+  };
+
+  struct Spot {
+    std::vector<FieldPlan> fields;
+    std::vector<smpi::Request> pending;  ///< Receive requests in flight.
+    bool in_flight = false;
+  };
+
+  int buffer_index(const grid::Function& fn, int time_offset,
+                   std::int64_t time) const;
+  void pack(const grid::Function& fn, int buf_idx, const Box& box,
+            std::vector<float>& out) const;
+  void unpack(grid::Function& fn, int buf_idx, const Box& box,
+              const std::vector<float>& in) const;
+
+  void update_basic(Spot& spot, std::int64_t time);
+  void post_star(Spot& spot, std::int64_t time);
+  void complete_star(Spot& spot, std::int64_t time);
+
+  const grid::Grid* grid_;
+  ir::MpiMode mode_;
+  std::vector<Spot> spots_;
+  std::vector<std::int64_t> inflight_time_;  ///< Per spot, for unpack.
+  HaloStats stats_;
+};
+
+}  // namespace jitfd::runtime

@@ -1,0 +1,174 @@
+#include "smpi/cart.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace smpi {
+
+std::vector<int> dims_create(int nranks, int ndims, std::vector<int> dims) {
+  if (ndims < 1) {
+    throw std::invalid_argument("dims_create: ndims must be >= 1");
+  }
+  dims.resize(static_cast<std::size_t>(ndims), 0);
+
+  int fixed_product = 1;
+  int free_count = 0;
+  for (const int d : dims) {
+    if (d < 0) {
+      throw std::invalid_argument("dims_create: negative dimension");
+    }
+    if (d > 0) {
+      fixed_product *= d;
+    } else {
+      ++free_count;
+    }
+  }
+  if (fixed_product == 0 || nranks % fixed_product != 0) {
+    throw std::invalid_argument(
+        "dims_create: fixed dimensions do not divide nranks");
+  }
+  int remaining = nranks / fixed_product;
+  if (free_count == 0) {
+    if (remaining != 1) {
+      throw std::invalid_argument("dims_create: dims do not multiply to nranks");
+    }
+    return dims;
+  }
+
+  // Greedy balanced factorization: repeatedly strip the largest prime
+  // factor and assign it to the currently smallest free dimension, then
+  // sort free entries non-increasing (the MPI_Dims_create convention).
+  std::vector<int> factors;
+  int n = remaining;
+  for (int p = 2; p * p <= n; ++p) {
+    while (n % p == 0) {
+      factors.push_back(p);
+      n /= p;
+    }
+  }
+  if (n > 1) {
+    factors.push_back(n);
+  }
+  std::sort(factors.rbegin(), factors.rend());
+
+  std::vector<int> free_dims(static_cast<std::size_t>(free_count), 1);
+  for (const int f : factors) {
+    auto smallest = std::min_element(free_dims.begin(), free_dims.end());
+    *smallest *= f;
+  }
+  std::sort(free_dims.rbegin(), free_dims.rend());
+
+  std::size_t next_free = 0;
+  for (int& d : dims) {
+    if (d == 0) {
+      d = free_dims[next_free++];
+    }
+  }
+  return dims;
+}
+
+CartComm::CartComm(Communicator comm, std::vector<int> dims)
+    : comm_(comm), dims_(std::move(dims)) {
+  int product = 1;
+  for (const int d : dims_) {
+    if (d < 1) {
+      throw std::invalid_argument("CartComm: dimensions must be positive");
+    }
+    product *= d;
+  }
+  if (product != comm_.size()) {
+    throw std::invalid_argument(
+        "CartComm: topology does not match communicator size");
+  }
+  my_coords_ = coords(comm_.rank());
+}
+
+std::vector<int> CartComm::coords(int rank) const {
+  assert(rank >= 0 && rank < size());
+  std::vector<int> c(dims_.size());
+  int rest = rank;
+  for (int d = ndims() - 1; d >= 0; --d) {
+    const auto ud = static_cast<std::size_t>(d);
+    c[ud] = rest % dims_[ud];
+    rest /= dims_[ud];
+  }
+  return c;
+}
+
+int CartComm::rank_of(const std::vector<int>& coords) const {
+  assert(coords.size() == dims_.size());
+  int rank = 0;
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    if (coords[d] < 0 || coords[d] >= dims_[d]) {
+      return kProcNull;
+    }
+    rank = rank * dims_[d] + coords[d];
+  }
+  return rank;
+}
+
+CartComm::Shift CartComm::shift(int dim, int disp) const {
+  assert(dim >= 0 && dim < ndims());
+  std::vector<int> c = my_coords_;
+  const auto ud = static_cast<std::size_t>(dim);
+  Shift result;
+  c[ud] = my_coords_[ud] + disp;
+  result.dest = rank_of(c);
+  c[ud] = my_coords_[ud] - disp;
+  result.source = rank_of(c);
+  return result;
+}
+
+int CartComm::neighbor(const std::vector<int>& offset) const {
+  assert(offset.size() == dims_.size());
+  std::vector<int> c(dims_.size());
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    c[d] = my_coords_[d] + offset[d];
+  }
+  return rank_of(c);
+}
+
+std::vector<std::vector<int>> CartComm::star_neighborhood() const {
+  std::vector<std::vector<int>> result;
+  const int nd = ndims();
+  std::vector<int> offset(static_cast<std::size_t>(nd), -1);
+  while (true) {
+    const bool all_zero =
+        std::all_of(offset.begin(), offset.end(), [](int o) { return o == 0; });
+    if (!all_zero && neighbor(offset) != kProcNull) {
+      result.push_back(offset);
+    }
+    // Odometer increment over {-1,0,1}^nd.
+    int d = nd - 1;
+    for (; d >= 0; --d) {
+      const auto ud = static_cast<std::size_t>(d);
+      if (offset[ud] < 1) {
+        ++offset[ud];
+        break;
+      }
+      offset[ud] = -1;
+    }
+    if (d < 0) {
+      break;
+    }
+  }
+  return result;
+}
+
+std::vector<std::vector<int>> CartComm::face_neighborhood() const {
+  std::vector<std::vector<int>> result;
+  const auto nd = static_cast<std::size_t>(ndims());
+  for (std::size_t d = 0; d < nd; ++d) {
+    for (const int disp : {-1, +1}) {
+      std::vector<int> offset(nd, 0);
+      offset[d] = disp;
+      if (neighbor(offset) != kProcNull) {
+        result.push_back(std::move(offset));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace smpi

@@ -1,0 +1,69 @@
+// Cartesian process topology (mirrors MPI_Cart_* plus the generalized
+// neighbour query the diagonal/full halo patterns need).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "smpi/comm.h"
+
+namespace smpi {
+
+/// Balanced factorization of `nranks` over `ndims` dimensions, mirroring
+/// MPI_Dims_create: dimensions are as close to each other as possible and
+/// sorted in non-increasing order. Entries of `dims` that are nonzero on
+/// input are kept fixed.
+std::vector<int> dims_create(int nranks, int ndims, std::vector<int> dims = {});
+
+/// A communicator with an attached Cartesian topology. Rank order is
+/// row-major in coordinates (last dimension varies fastest), matching the
+/// default MPI_Cart_create layout.
+class CartComm {
+ public:
+  /// `dims` must multiply to comm.size(). Non-periodic in every dimension
+  /// (finite-difference domains have physical boundaries).
+  CartComm(Communicator comm, std::vector<int> dims);
+
+  const Communicator& comm() const { return comm_; }
+  int rank() const { return comm_.rank(); }
+  int size() const { return comm_.size(); }
+  int ndims() const { return static_cast<int>(dims_.size()); }
+  const std::vector<int>& dims() const { return dims_; }
+
+  /// Coordinates of `rank` in the topology.
+  std::vector<int> coords(int rank) const;
+  /// Coordinates of this rank.
+  const std::vector<int>& my_coords() const { return my_coords_; }
+
+  /// Rank at `coords`, or kProcNull if any coordinate is out of range.
+  int rank_of(const std::vector<int>& coords) const;
+
+  /// MPI_Cart_shift: the (source, dest) pair for displacement `disp` along
+  /// dimension `dim`. Out-of-domain neighbours are kProcNull.
+  struct Shift {
+    int source = kProcNull;
+    int dest = kProcNull;
+  };
+  Shift shift(int dim, int disp) const;
+
+  /// Rank of the neighbour displaced by `offset` (one entry per dimension,
+  /// each in {-1, 0, +1} for halo exchanges but any value is accepted);
+  /// kProcNull if outside the topology.
+  int neighbor(const std::vector<int>& offset) const;
+
+  /// All neighbour offsets with entries in {-1,0,+1}, excluding the zero
+  /// offset and offsets whose neighbour is kProcNull. In 3D this yields up
+  /// to 26 entries — the diagonal/full pattern's message set.
+  std::vector<std::vector<int>> star_neighborhood() const;
+
+  /// Face-only neighbour offsets (exactly one nonzero entry), excluding
+  /// kProcNull neighbours — the basic pattern's message set (up to 2*ndims).
+  std::vector<std::vector<int>> face_neighborhood() const;
+
+ private:
+  Communicator comm_;
+  std::vector<int> dims_;
+  std::vector<int> my_coords_;
+};
+
+}  // namespace smpi

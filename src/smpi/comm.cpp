@@ -1,0 +1,211 @@
+#include "smpi/comm.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+namespace smpi {
+
+Status Request::wait() {
+  if (state_ == nullptr) {
+    return Status{};
+  }
+  state_->wait();
+  return state_->status;
+}
+
+bool Request::test() const { return state_ == nullptr || state_->test(); }
+
+World::World(int nranks) {
+  if (nranks < 1) {
+    throw std::invalid_argument("smpi::World needs at least one rank");
+  }
+  mailboxes_.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+void World::barrier() {
+  std::unique_lock<std::mutex> lock(barrier_mtx_);
+  const std::uint64_t my_generation = barrier_generation_;
+  if (++barrier_waiting_ == size()) {
+    barrier_waiting_ = 0;
+    ++barrier_generation_;
+    barrier_cv_.notify_all();
+    return;
+  }
+  barrier_cv_.wait(lock, [&] { return barrier_generation_ != my_generation; });
+}
+
+namespace {
+
+void deliver_bytes(World& world, int from, int dest, int tag, Channel channel,
+                   const void* buf, std::size_t bytes) {
+  Message msg;
+  msg.source = from;
+  msg.tag = tag;
+  msg.channel = channel;
+  msg.payload.resize(bytes);
+  if (bytes > 0) {
+    std::memcpy(msg.payload.data(), buf, bytes);
+  }
+  world.count_message();
+  world.mailbox(dest).deliver(std::move(msg));
+}
+
+std::shared_ptr<OpState> post_recv_bytes(World& world, int me, void* buf,
+                                         std::size_t bytes, int source,
+                                         int tag, Channel channel) {
+  auto op = std::make_shared<OpState>();
+  op->recv_buf = buf;
+  op->recv_capacity = bytes;
+  op->want_source = source;
+  op->want_tag = tag;
+  op->channel = channel;
+  world.mailbox(me).post_recv(op);
+  return op;
+}
+
+}  // namespace
+
+void Communicator::send(const void* buf, std::size_t bytes, int dest,
+                        int tag) const {
+  if (dest == kProcNull) {
+    return;
+  }
+  assert(dest >= 0 && dest < size());
+  deliver_bytes(*world_, rank_, dest, tag, Channel::User, buf, bytes);
+}
+
+Status Communicator::recv(void* buf, std::size_t bytes, int source,
+                          int tag) const {
+  if (source == kProcNull) {
+    return Status{kProcNull, tag, 0};
+  }
+  auto op =
+      post_recv_bytes(*world_, rank_, buf, bytes, source, tag, Channel::User);
+  op->wait();
+  return op->status;
+}
+
+Request Communicator::isend(const void* buf, std::size_t bytes, int dest,
+                            int tag) const {
+  send(buf, bytes, dest, tag);
+  auto done = std::make_shared<OpState>();
+  done->complete(Status{rank_, tag, bytes});
+  return Request(std::move(done));
+}
+
+Request Communicator::irecv(void* buf, std::size_t bytes, int source,
+                            int tag) const {
+  if (source == kProcNull) {
+    auto done = std::make_shared<OpState>();
+    done->complete(Status{kProcNull, tag, 0});
+    return Request(std::move(done));
+  }
+  return Request(
+      post_recv_bytes(*world_, rank_, buf, bytes, source, tag, Channel::User));
+}
+
+Status Communicator::sendrecv(const void* sendbuf, std::size_t send_bytes,
+                              int dest, int send_tag, void* recvbuf,
+                              std::size_t recv_bytes, int source,
+                              int recv_tag) const {
+  Request rx = irecv(recvbuf, recv_bytes, source, recv_tag);
+  send(sendbuf, send_bytes, dest, send_tag);
+  return rx.wait();
+}
+
+namespace {
+
+template <typename T>
+void apply_reduce(ReduceOp op, std::span<T> acc, std::span<const T> in) {
+  assert(acc.size() == in.size());
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    switch (op) {
+      case ReduceOp::Sum:
+        acc[i] += in[i];
+        break;
+      case ReduceOp::Min:
+        acc[i] = std::min(acc[i], in[i]);
+        break;
+      case ReduceOp::Max:
+        acc[i] = std::max(acc[i], in[i]);
+        break;
+      case ReduceOp::Prod:
+        acc[i] *= in[i];
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+template <typename T>
+void Communicator::allreduce_impl(std::span<T> values, ReduceOp op) const {
+  // Reduce-to-root then broadcast. Simple and adequate: collectives are on
+  // the control path (norms, diagnostics), never in the halo-exchange inner
+  // loop.
+  const std::size_t bytes = values.size_bytes();
+  if (rank_ == 0) {
+    std::vector<T> incoming(values.size());
+    for (int src = 1; src < size(); ++src) {
+      auto rx = post_recv_bytes(*world_, rank_, incoming.data(), bytes, src,
+                                kCollectiveTag, Channel::Collective);
+      rx->wait();
+      apply_reduce<T>(op, values, incoming);
+    }
+  } else {
+    deliver_bytes(*world_, rank_, 0, kCollectiveTag, Channel::Collective,
+                  values.data(), bytes);
+  }
+  bcast(values.data(), bytes, 0);
+}
+
+void Communicator::allreduce(std::span<double> values, ReduceOp op) const {
+  allreduce_impl(values, op);
+}
+
+void Communicator::allreduce(std::span<std::int64_t> values,
+                             ReduceOp op) const {
+  allreduce_impl(values, op);
+}
+
+void Communicator::bcast(void* buf, std::size_t bytes, int root) const {
+  if (rank_ == root) {
+    for (int dst = 0; dst < size(); ++dst) {
+      if (dst != root) {
+        deliver_bytes(*world_, rank_, dst, kCollectiveTag, Channel::Collective,
+                      buf, bytes);
+      }
+    }
+  } else {
+    auto rx = post_recv_bytes(*world_, rank_, buf, bytes, root, kCollectiveTag,
+                              Channel::Collective);
+    rx->wait();
+  }
+}
+
+void Communicator::gather(const void* sendbuf, std::size_t bytes,
+                          void* recvbuf, int root) const {
+  if (rank_ == root) {
+    auto* out = static_cast<std::byte*>(recvbuf);
+    std::memcpy(out + static_cast<std::size_t>(root) * bytes, sendbuf, bytes);
+    for (int src = 0; src < size(); ++src) {
+      if (src == root) {
+        continue;
+      }
+      auto rx = post_recv_bytes(
+          *world_, rank_, out + static_cast<std::size_t>(src) * bytes, bytes,
+          src, kCollectiveTag, Channel::Collective);
+      rx->wait();
+    }
+  } else {
+    deliver_bytes(*world_, rank_, root, kCollectiveTag, Channel::Collective,
+                  sendbuf, bytes);
+  }
+}
+
+}  // namespace smpi

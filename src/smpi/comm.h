@@ -1,0 +1,138 @@
+// Communicator: the rank-facing API of the SMPI substrate.
+//
+// A World owns the shared state (one mailbox per rank, barrier); each rank
+// thread holds a Communicator that references the World plus its own rank.
+// The API mirrors the MPI subset the generated halo-exchange code and the
+// distributed-data layer need.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "smpi/mailbox.h"
+#include "smpi/types.h"
+
+namespace smpi {
+
+/// Handle to a nonblocking operation. Copyable; wait() and test() may be
+/// called from the posting rank only (as in MPI). A default-constructed
+/// Request is "null" and trivially complete.
+class Request {
+ public:
+  Request() = default;
+  explicit Request(std::shared_ptr<OpState> state) : state_(std::move(state)) {}
+
+  /// Block until the operation completes; returns its status.
+  Status wait();
+
+  /// Nonblocking completion probe.
+  bool test() const;
+
+  bool is_null() const { return state_ == nullptr; }
+
+ private:
+  std::shared_ptr<OpState> state_;
+};
+
+/// Shared, process-wide state behind a set of rank threads.
+class World {
+ public:
+  explicit World(int nranks);
+
+  int size() const { return static_cast<int>(mailboxes_.size()); }
+  Mailbox& mailbox(int rank) { return *mailboxes_.at(static_cast<std::size_t>(rank)); }
+
+  /// Sense-reversing barrier across all ranks of the world.
+  void barrier();
+
+  /// Total messages delivered since construction (diagnostics / tests).
+  std::uint64_t message_count() const { return messages_.load(); }
+  void count_message() { messages_.fetch_add(1, std::memory_order_relaxed); }
+
+ private:
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::mutex barrier_mtx_;
+  std::condition_variable barrier_cv_;
+  int barrier_waiting_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+  std::atomic<std::uint64_t> messages_{0};
+};
+
+/// Per-rank communicator. Cheap to copy; all copies refer to the same
+/// World. Thread affinity: a Communicator must only be used by the thread
+/// of the rank it was created for.
+class Communicator {
+ public:
+  Communicator(World* world, int rank) : world_(world), rank_(rank) {}
+
+  int rank() const { return rank_; }
+  int size() const { return world_->size(); }
+  World& world() const { return *world_; }
+
+  // --- Point-to-point (byte-level) -------------------------------------
+
+  /// Buffered blocking send: completes locally as soon as the payload has
+  /// been copied into the destination mailbox (never deadlocks on itself).
+  void send(const void* buf, std::size_t bytes, int dest, int tag) const;
+
+  /// Blocking receive; returns the matched message's status.
+  Status recv(void* buf, std::size_t bytes, int source, int tag) const;
+
+  /// Nonblocking send; the returned request is already complete (buffered
+  /// semantics) but is provided so call sites read like MPI.
+  Request isend(const void* buf, std::size_t bytes, int dest, int tag) const;
+
+  /// Nonblocking receive into `buf` (caller keeps `buf` alive until wait).
+  Request irecv(void* buf, std::size_t bytes, int source, int tag) const;
+
+  /// Combined send+recv (used by the basic halo pattern's axis sweeps).
+  Status sendrecv(const void* sendbuf, std::size_t send_bytes, int dest,
+                  int send_tag, void* recvbuf, std::size_t recv_bytes,
+                  int source, int recv_tag) const;
+
+  // --- Typed convenience wrappers ---------------------------------------
+
+  template <typename T>
+  void send_n(const T* buf, std::size_t n, int dest, int tag) const {
+    send(buf, n * sizeof(T), dest, tag);
+  }
+  template <typename T>
+  Status recv_n(T* buf, std::size_t n, int source, int tag) const {
+    return recv(buf, n * sizeof(T), source, tag);
+  }
+
+  // --- Collectives -------------------------------------------------------
+
+  void barrier() const { world_->barrier(); }
+
+  /// In-place allreduce over a span of doubles.
+  void allreduce(std::span<double> values, ReduceOp op) const;
+  /// In-place allreduce over a span of 64-bit integers.
+  void allreduce(std::span<std::int64_t> values, ReduceOp op) const;
+
+  /// Broadcast `bytes` from `root` into every rank's `buf`.
+  void bcast(void* buf, std::size_t bytes, int root) const;
+
+  /// Gather fixed-size contributions to `root`. On the root, `recv` must
+  /// hold size()*bytes; on other ranks it may be empty.
+  void gather(const void* sendbuf, std::size_t bytes, void* recvbuf,
+              int root) const;
+
+ private:
+  template <typename T>
+  void allreduce_impl(std::span<T> values, ReduceOp op) const;
+
+  // Tags in the collective channel encode the operation round.
+  static constexpr int kCollectiveTag = 0;
+
+  World* world_;
+  int rank_;
+};
+
+}  // namespace smpi

@@ -1,0 +1,77 @@
+#include "smpi/mailbox.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace smpi {
+
+bool Mailbox::matches(const OpState& op, const Message& msg) {
+  if (op.channel != msg.channel) {
+    return false;
+  }
+  if (op.want_source != kAnySource && op.want_source != msg.source) {
+    return false;
+  }
+  if (op.want_tag != kAnyTag && op.want_tag != msg.tag) {
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+// Copy a matched payload into the receive buffer and complete the op.
+// Receiving into a smaller buffer than the message is an error in MPI; we
+// assert in debug builds and truncate in release builds.
+void fulfil(OpState& op, const Message& msg) {
+  assert(msg.payload.size() <= op.recv_capacity &&
+         "smpi: message longer than posted receive buffer");
+  const std::size_t n = std::min(msg.payload.size(), op.recv_capacity);
+  if (n > 0) {
+    std::memcpy(op.recv_buf, msg.payload.data(), n);
+  }
+  op.complete(Status{msg.source, msg.tag, n});
+}
+
+}  // namespace
+
+void Mailbox::deliver(Message&& msg) {
+  std::shared_ptr<OpState> match;
+  {
+    const std::lock_guard<std::mutex> lock(mtx_);
+    const auto it = std::find_if(
+        posted_.begin(), posted_.end(),
+        [&](const std::shared_ptr<OpState>& op) { return matches(*op, msg); });
+    if (it == posted_.end()) {
+      unexpected_.push_back(std::move(msg));
+      return;
+    }
+    match = *it;
+    posted_.erase(it);
+  }
+  fulfil(*match, msg);
+}
+
+void Mailbox::post_recv(const std::shared_ptr<OpState>& op) {
+  Message msg;
+  {
+    const std::lock_guard<std::mutex> lock(mtx_);
+    const auto it = std::find_if(
+        unexpected_.begin(), unexpected_.end(),
+        [&](const Message& m) { return matches(*op, m); });
+    if (it == unexpected_.end()) {
+      posted_.push_back(op);
+      return;
+    }
+    msg = std::move(*it);
+    unexpected_.erase(it);
+  }
+  fulfil(*op, msg);
+}
+
+std::size_t Mailbox::pending_messages() const {
+  const std::lock_guard<std::mutex> lock(mtx_);
+  return unexpected_.size();
+}
+
+}  // namespace smpi

@@ -1,0 +1,94 @@
+// Per-rank message matching engine.
+//
+// Each rank owns one Mailbox. Senders deliver into the destination rank's
+// mailbox; receivers post receive descriptors into their own. Matching
+// follows MPI semantics: a posted receive matches the earliest pending
+// message whose (source, tag, channel) is compatible, and pending messages
+// are matched in arrival order per (source, tag) pair (non-overtaking).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "smpi/types.h"
+
+namespace smpi {
+
+/// Shared completion state of one nonblocking operation.
+///
+/// Send-side operations complete at enqueue time (buffered semantics), so
+/// their OpState is constructed already-done. Receive-side OpStates are
+/// completed either at post time (when a matching message is already
+/// pending) or later by the delivering sender thread.
+struct OpState {
+  std::mutex mtx;
+  std::condition_variable cv;
+  bool done = false;
+  Status status;
+
+  // Receive descriptor (only meaningful while !done for receives).
+  void* recv_buf = nullptr;
+  std::size_t recv_capacity = 0;
+  int want_source = kAnySource;
+  int want_tag = kAnyTag;
+  Channel channel = Channel::User;
+
+  void complete(const Status& st) {
+    {
+      const std::lock_guard<std::mutex> lock(mtx);
+      done = true;
+      status = st;
+    }
+    cv.notify_all();
+  }
+
+  void wait() {
+    std::unique_lock<std::mutex> lock(mtx);
+    cv.wait(lock, [&] { return done; });
+  }
+
+  bool test() {
+    const std::lock_guard<std::mutex> lock(mtx);
+    return done;
+  }
+};
+
+/// One in-flight message (payload owned by the mailbox until matched).
+struct Message {
+  int source = 0;
+  int tag = 0;
+  Channel channel = Channel::User;
+  std::vector<std::byte> payload;
+};
+
+/// Mailbox: the unexpected-message queue plus the posted-receive queue of
+/// one rank, guarded by a single mutex. Senders and the owning receiver
+/// thread are the only parties that touch it.
+class Mailbox {
+ public:
+  /// Deliver a message; matches a posted receive if one is compatible,
+  /// otherwise appends to the unexpected queue. Called from sender threads.
+  void deliver(Message&& msg);
+
+  /// Post a receive. If a pending message already matches, the OpState is
+  /// completed before returning. The descriptor fields of `op` must be
+  /// filled in by the caller.
+  void post_recv(const std::shared_ptr<OpState>& op);
+
+  /// Number of messages sitting in the unexpected queue (diagnostics).
+  std::size_t pending_messages() const;
+
+ private:
+  static bool matches(const OpState& op, const Message& msg);
+
+  mutable std::mutex mtx_;
+  std::deque<Message> unexpected_;
+  std::deque<std::shared_ptr<OpState>> posted_;
+};
+
+}  // namespace smpi

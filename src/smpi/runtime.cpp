@@ -1,0 +1,45 @@
+#include "smpi/runtime.h"
+
+#include <exception>
+#include <thread>
+#include <vector>
+
+namespace smpi {
+
+void run(int nranks, const std::function<void(Communicator&)>& body) {
+  World world(nranks);
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
+
+  // Rank 0 runs on the calling thread so single-rank runs need no thread
+  // creation and debuggers see the "main" rank on the main stack.
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks - 1));
+  for (int r = 1; r < nranks; ++r) {
+    threads.emplace_back([&world, &body, &errors, r] {
+      Communicator comm(&world, r);
+      try {
+        body(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  {
+    Communicator comm(&world, 0);
+    try {
+      body(comm);
+    } catch (...) {
+      errors[0] = std::current_exception();
+    }
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  for (const std::exception_ptr& err : errors) {
+    if (err != nullptr) {
+      std::rethrow_exception(err);
+    }
+  }
+}
+
+}  // namespace smpi

@@ -1,0 +1,16 @@
+// Launching rank threads: the SPMD entry point of the substrate.
+#pragma once
+
+#include <functional>
+
+#include "smpi/comm.h"
+
+namespace smpi {
+
+/// Run `body` on `nranks` concurrent rank threads, each receiving its own
+/// Communicator over a fresh World. Joins all ranks before returning.
+/// Exceptions thrown by any rank are captured and the first one (by rank
+/// order) is rethrown on the calling thread after all ranks have finished.
+void run(int nranks, const std::function<void(Communicator&)>& body);
+
+}  // namespace smpi

@@ -1,0 +1,45 @@
+// Basic shared types for the SMPI message-passing substrate.
+//
+// SMPI is a threads-as-ranks implementation of the MPI subset required by
+// the generated halo-exchange code: tagged point-to-point messaging
+// (blocking and nonblocking with test/wait), collectives, and Cartesian
+// topologies. Each rank is a thread inside one process; message payloads
+// are copied between address spaces exactly once (send side), mirroring
+// MPI's buffered-send semantics.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace smpi {
+
+/// Wildcard source for receive matching (mirrors MPI_ANY_SOURCE).
+inline constexpr int kAnySource = -1;
+/// Wildcard tag for receive matching (mirrors MPI_ANY_TAG).
+inline constexpr int kAnyTag = -1;
+/// Null process: sends/recvs to it are no-ops (mirrors MPI_PROC_NULL).
+inline constexpr int kProcNull = -2;
+
+/// Reduction operators for allreduce/reduce.
+enum class ReduceOp {
+  Sum,
+  Min,
+  Max,
+  Prod,
+};
+
+/// Message channels separate user point-to-point traffic from internal
+/// collective traffic so collectives can never match user receives.
+enum class Channel : std::uint8_t {
+  User = 0,
+  Collective = 1,
+};
+
+/// Completion status of a receive (source/tag/size of the matched message).
+struct Status {
+  int source = kAnySource;
+  int tag = kAnyTag;
+  std::size_t bytes = 0;
+};
+
+}  // namespace smpi

@@ -1,0 +1,156 @@
+#include "sparse/sparse_function.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace jitfd::sparse {
+
+double ricker(double t, double f0, double t0) {
+  const double a = std::numbers::pi * f0 * (t - t0);
+  const double a2 = a * a;
+  return (1.0 - 2.0 * a2) * std::exp(-a2);
+}
+
+SparseFunction::SparseFunction(std::string name, const grid::Grid& grid,
+                               std::vector<std::vector<double>> coords)
+    : name_(std::move(name)), grid_(&grid), coords_(std::move(coords)) {
+  for (const auto& c : coords_) {
+    if (static_cast<int>(c.size()) != grid.ndims()) {
+      throw std::invalid_argument("SparseFunction: coordinate rank mismatch");
+    }
+    for (int d = 0; d < grid.ndims(); ++d) {
+      const double hi = grid.extent()[static_cast<std::size_t>(d)];
+      if (c[static_cast<std::size_t>(d)] < 0.0 ||
+          c[static_cast<std::size_t>(d)] > hi) {
+        throw std::invalid_argument(
+            "SparseFunction: point outside the physical domain");
+      }
+    }
+  }
+}
+
+std::vector<SparseFunction::NodeWeight> SparseFunction::support(int p) const {
+  const std::vector<double>& c = coords_[static_cast<std::size_t>(p)];
+  const int nd = grid_->ndims();
+
+  // Cell index and fractional position per dimension.
+  std::vector<std::int64_t> cell(static_cast<std::size_t>(nd));
+  std::vector<double> frac(static_cast<std::size_t>(nd));
+  for (int d = 0; d < nd; ++d) {
+    const auto ud = static_cast<std::size_t>(d);
+    const double h = grid_->spacing(d);
+    double pos = c[ud] / h;
+    std::int64_t lo = static_cast<std::int64_t>(std::floor(pos));
+    // Clamp so the far-boundary point uses the last cell.
+    lo = std::clamp<std::int64_t>(lo, 0, grid_->shape()[ud] - 2);
+    cell[ud] = lo;
+    frac[ud] = std::clamp(pos - static_cast<double>(lo), 0.0, 1.0);
+  }
+
+  std::vector<NodeWeight> out;
+  const int corners = 1 << nd;
+  out.reserve(static_cast<std::size_t>(corners));
+  for (int mask = 0; mask < corners; ++mask) {
+    NodeWeight nw;
+    nw.node.resize(static_cast<std::size_t>(nd));
+    nw.weight = 1.0;
+    for (int d = 0; d < nd; ++d) {
+      const auto ud = static_cast<std::size_t>(d);
+      const bool high = (mask >> d) & 1;
+      nw.node[ud] = cell[ud] + (high ? 1 : 0);
+      nw.weight *= high ? frac[ud] : 1.0 - frac[ud];
+    }
+    if (nw.weight != 0.0) {
+      out.push_back(std::move(nw));
+    }
+  }
+  return out;
+}
+
+bool SparseFunction::is_local(int p) const {
+  const std::vector<int> coords_rank =
+      grid_->distributed() ? grid_->cart()->my_coords()
+                           : std::vector<int>(static_cast<std::size_t>(
+                                                  grid_->ndims()),
+                                              0);
+  for (const NodeWeight& nw : support(p)) {
+    bool owned = true;
+    for (int d = 0; d < grid_->ndims(); ++d) {
+      const auto ud = static_cast<std::size_t>(d);
+      if (grid_->decomposition(d).global_to_local(coords_rank[ud],
+                                                  nw.node[ud]) < 0) {
+        owned = false;
+        break;
+      }
+    }
+    if (owned) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Injection::Injection(
+    grid::Function& target, const SparseFunction& points,
+    std::function<double(std::int64_t)> amplitude,
+    std::function<double(int, std::span<const std::int64_t>)> scale,
+    int time_offset)
+    : target_(&target),
+      points_(&points),
+      amplitude_(std::move(amplitude)),
+      scale_(std::move(scale)),
+      time_offset_(time_offset) {}
+
+void Injection::apply(std::int64_t time) {
+  const int buf = target_->buffer_index(time_offset_, time);
+  const double amp = amplitude_(time);
+  for (int p = 0; p < points_->npoints(); ++p) {
+    for (const SparseFunction::NodeWeight& nw : points_->support(p)) {
+      // Each rank updates only the nodes it owns: points shared between
+      // ranks are thereby injected exactly once per node.
+      const double add =
+          amp * nw.weight * (scale_ ? scale_(p, nw.node) : 1.0);
+      const float current = target_->get_global_or(buf, nw.node, 0.0F);
+      if (!target_->set_global(buf, nw.node,
+                               current + static_cast<float>(add))) {
+        continue;
+      }
+    }
+  }
+}
+
+Interpolation::Interpolation(const grid::Function& field,
+                             const SparseFunction& points, int time_offset)
+    : field_(&field), points_(&points), time_offset_(time_offset) {}
+
+void Interpolation::apply(std::int64_t time) {
+  const int buf = field_->buffer_index(time_offset_, time);
+  std::vector<double> row(static_cast<std::size_t>(points_->npoints()), 0.0);
+  for (int p = 0; p < points_->npoints(); ++p) {
+    double sum = 0.0;
+    for (const SparseFunction::NodeWeight& nw : points_->support(p)) {
+      // Owned-node partial sums; assemble() completes the reduction.
+      const float v = field_->get_global_or(buf, nw.node, 0.0F);
+      sum += nw.weight * v;
+    }
+    row[static_cast<std::size_t>(p)] = sum;
+  }
+  partial_.push_back(std::move(row));
+}
+
+std::vector<std::vector<double>> Interpolation::assemble() const {
+  std::vector<std::vector<double>> out = partial_;
+  const grid::Grid& g = points_->grid();
+  if (!g.distributed()) {
+    return out;
+  }
+  for (std::vector<double>& row : out) {
+    g.cart()->comm().allreduce(std::span<double>(row), smpi::ReduceOp::Sum);
+  }
+  return out;
+}
+
+}  // namespace jitfd::sparse

@@ -1,0 +1,113 @@
+// Off-grid sparse operations (paper Sections III-c and IV-C).
+//
+// A SparseFunction is a set of points with physical coordinates that need
+// not align with grid nodes (sources, receivers). Under domain
+// decomposition each point is handled by the ranks owning the grid nodes
+// of its surrounding cell — points on shared boundaries are handled by
+// every adjacent rank for exactly the nodes that rank owns (the paper's
+// Figure 3 ownership rule), which makes distributed injection add each
+// nodal contribution exactly once.
+//
+// Injection scatters a time signature into a field with multilinear
+// weights; Interpolation gathers multilinear samples of a field at the
+// points (each rank accumulates its owned-node partial sums; assemble()
+// reduces them across ranks).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "grid/function.h"
+#include "runtime/interpreter.h"
+
+namespace jitfd::sparse {
+
+/// Ricker wavelet (the standard seismic source signature):
+/// r(t) = (1 - 2 (pi f0 (t - t0))^2) exp(-(pi f0 (t - t0))^2).
+double ricker(double t, double f0, double t0);
+
+class SparseFunction {
+ public:
+  /// `coords[p]` holds the physical coordinates of point p (size ndims,
+  /// within the grid extent).
+  SparseFunction(std::string name, const grid::Grid& grid,
+                 std::vector<std::vector<double>> coords);
+
+  const std::string& name() const { return name_; }
+  const grid::Grid& grid() const { return *grid_; }
+  int npoints() const { return static_cast<int>(coords_.size()); }
+  const std::vector<double>& coords(int p) const {
+    return coords_[static_cast<std::size_t>(p)];
+  }
+
+  /// The surrounding-cell nodes of point p and their multilinear weights:
+  /// 2^ndims (node, weight) pairs in global indices. Nodes are clamped to
+  /// the domain (points on the far boundary collapse onto it).
+  struct NodeWeight {
+    std::vector<std::int64_t> node;
+    double weight;
+  };
+  std::vector<NodeWeight> support(int p) const;
+
+  /// True if this rank owns at least one support node of point p (i.e.
+  /// the point is "local" in the sense of the paper's Figure 3).
+  bool is_local(int p) const;
+
+ private:
+  std::string name_;
+  const grid::Grid* grid_;
+  std::vector<std::vector<double>> coords_;
+};
+
+/// Scatter `amplitude(time)` into `target` at buffer (time + time_offset)
+/// with multilinear weights, scaled by `scale_expr_value` — the DSL's
+/// src.inject(field=u.forward, expr=src * dt**2 / m) with the scale
+/// evaluated per support node via a callback (which may read fields).
+class Injection : public runtime::SparseOp {
+ public:
+  /// `scale(p, node)` returns the per-node scale factor (e.g. dt^2/m at
+  /// the node); `amplitude(time)` the source time signature.
+  Injection(grid::Function& target, const SparseFunction& points,
+            std::function<double(std::int64_t)> amplitude,
+            std::function<double(int, std::span<const std::int64_t>)> scale,
+            int time_offset = 1);
+
+  void apply(std::int64_t time) override;
+
+ private:
+  grid::Function* target_;
+  const SparseFunction* points_;
+  std::function<double(std::int64_t)> amplitude_;
+  std::function<double(int, std::span<const std::int64_t>)> scale_;
+  int time_offset_;
+};
+
+/// Gather multilinear samples of `field` at the sparse points into a
+/// [row][point] record, one row per applied time step.
+class Interpolation : public runtime::SparseOp {
+ public:
+  /// Rows index time steps in application order. `time_offset` selects
+  /// the sampled buffer relative to the loop variable.
+  Interpolation(const grid::Function& field, const SparseFunction& points,
+                int time_offset = 0);
+
+  void apply(std::int64_t time) override;
+
+  /// Number of recorded rows so far.
+  int rows() const { return static_cast<int>(partial_.size()); }
+
+  /// Reduce partial sums across ranks and return the assembled record
+  /// (collective when the grid is distributed; every rank gets the full
+  /// data, mirroring the paper's logically-centralized data view).
+  std::vector<std::vector<double>> assemble() const;
+
+ private:
+  const grid::Function* field_;
+  const SparseFunction* points_;
+  int time_offset_;
+  std::vector<std::vector<double>> partial_;  ///< [row][point] local sums.
+};
+
+}  // namespace jitfd::sparse

@@ -1,0 +1,234 @@
+#include "symbolic/cse.h"
+
+#include <map>
+#include <unordered_map>
+#include <utility>
+
+#include "symbolic/manip.h"
+
+namespace jitfd::sym {
+
+namespace {
+
+struct ExLess {
+  bool operator()(const Ex& a, const Ex& b) const { return compare(a, b) < 0; }
+};
+
+int node_count(const Ex& e) {
+  int n = 1;
+  for (const Ex& a : e.node().args) {
+    n += node_count(a);
+  }
+  return n;
+}
+
+bool is_invariant(const Ex& e) {
+  if (e.kind() == Kind::FieldAccess) {
+    return false;
+  }
+  for (const Ex& a : e.node().args) {
+    if (!is_invariant(a)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Hash-based counting: deep structural compares only on hash collisions,
+// which matters for the multi-thousand-node TTI expressions.
+struct ExHash {
+  std::size_t operator()(const Ex& e) const { return e.hash(); }
+};
+struct ExEq {
+  bool operator()(const Ex& a, const Ex& b) const { return a == b; }
+};
+using CountMap = std::unordered_map<Ex, int, ExHash, ExEq>;
+
+void count_subtrees(const Ex& e, CountMap& counts) {
+  if (count_flops(e) >= 1) {
+    ++counts[e];
+  }
+  for (const Ex& a : e.node().args) {
+    count_subtrees(a, counts);
+  }
+}
+
+}  // namespace
+
+CseResult cse(std::vector<Ex> exprs, const std::string& prefix,
+              int first_index) {
+  CseResult result;
+  int next = first_index;
+  while (true) {
+    CountMap counts;
+    for (const Ex& e : exprs) {
+      count_subtrees(e, counts);
+    }
+    // Smallest repeated subtree first: extracting inner expressions first
+    // lets outer repeats be expressed in terms of earlier temps.
+    bool found = false;
+    Ex best;
+    int best_size = 0;
+    for (const auto& [sub, count] : counts) {
+      if (count < 2) {
+        continue;
+      }
+      const int size = node_count(sub);
+      if (!found || size < best_size ||
+          (size == best_size && compare(sub, best) < 0)) {
+        found = true;
+        best = sub;
+        best_size = size;
+      }
+    }
+    if (!found) {
+      break;
+    }
+    const std::string name = prefix + std::to_string(next++);
+    const Ex temp_sym = symbol(name);
+    for (Ex& e : exprs) {
+      e = substitute(e, best, temp_sym);
+    }
+    result.temps.push_back(Temp{name, best});
+  }
+  result.exprs = std::move(exprs);
+  return result;
+}
+
+namespace {
+
+class InvariantExtractor {
+ public:
+  explicit InvariantExtractor(const std::string& prefix, int first_index)
+      : prefix_(prefix), next_(first_index) {}
+
+  Ex rewrite(const Ex& e) {
+    if (is_invariant(e)) {
+      return count_flops(e) >= 1 ? intern(e) : e;
+    }
+    const ExprNode& n = e.node();
+    switch (n.kind) {
+      case Kind::Add:
+      case Kind::Mul: {
+        // Split off the invariant portion of the operand list and extract
+        // it as one combined temporary when it is worth a flop.
+        std::vector<Ex> invariant;
+        std::vector<Ex> varying;
+        for (const Ex& a : n.args) {
+          (is_invariant(a) ? invariant : varying).push_back(a);
+        }
+        std::vector<Ex> new_args;
+        if (!invariant.empty()) {
+          Ex combined = (n.kind == Kind::Add) ? make_add(std::move(invariant))
+                                              : make_mul(std::move(invariant));
+          new_args.push_back(count_flops(combined) >= 1 ? intern(combined)
+                                                        : combined);
+        }
+        for (const Ex& a : varying) {
+          new_args.push_back(rewrite(a));
+        }
+        return (n.kind == Kind::Add) ? make_add(std::move(new_args))
+                                     : make_mul(std::move(new_args));
+      }
+      case Kind::Pow:
+        return make_pow(rewrite(n.args[0]), rewrite(n.args[1]));
+      case Kind::Call:
+        return rebuild(e, {rewrite(n.args[0])});
+      default:
+        return e;
+    }
+  }
+
+  std::vector<Temp> take_temps() { return std::move(temps_); }
+
+ private:
+  Ex intern(const Ex& e) {
+    const auto it = interned_.find(e);
+    if (it != interned_.end()) {
+      return it->second;
+    }
+    const std::string name = prefix_ + std::to_string(next_++);
+    const Ex sym = symbol(name);
+    interned_.emplace(e, sym);
+    temps_.push_back(Temp{name, e});
+    return sym;
+  }
+
+  std::string prefix_;
+  int next_;
+  std::map<Ex, Ex, ExLess> interned_;
+  std::vector<Temp> temps_;
+};
+
+}  // namespace
+
+CseResult extract_invariants(std::vector<Ex> exprs, const std::string& prefix,
+                             int first_index) {
+  InvariantExtractor extractor(prefix, first_index);
+  CseResult result;
+  result.exprs.reserve(exprs.size());
+  for (const Ex& e : exprs) {
+    result.exprs.push_back(extractor.rewrite(e));
+  }
+  result.temps = extractor.take_temps();
+  return result;
+}
+
+namespace {
+
+std::pair<double, Ex> split_numeric_coefficient(const Ex& term) {
+  if (term.kind() == Kind::Mul) {
+    const auto& args = term.node().args;
+    if (!args.empty() && args.front().kind() == Kind::Number) {
+      std::vector<Ex> rest(args.begin() + 1, args.end());
+      return {args.front().number(), make_mul(std::move(rest))};
+    }
+  }
+  return {1.0, term};
+}
+
+}  // namespace
+
+Ex factorize(const Ex& e) {
+  const ExprNode& n = e.node();
+  switch (n.kind) {
+    case Kind::Add: {
+      // Recurse first, then group terms sharing a numeric coefficient.
+      std::map<double, std::vector<Ex>> groups;
+      std::vector<Ex> out;
+      for (const Ex& a : n.args) {
+        const Ex fa = factorize(a);
+        const auto [coeff, rest] = split_numeric_coefficient(fa);
+        if (coeff != 1.0 && !rest.is_one()) {
+          groups[coeff].push_back(rest);
+        } else {
+          out.push_back(fa);
+        }
+      }
+      for (auto& [coeff, rests] : groups) {
+        if (rests.size() >= 2) {
+          out.push_back(make_mul({number(coeff), make_add(std::move(rests))}));
+        } else {
+          out.push_back(make_mul({number(coeff), rests.front()}));
+        }
+      }
+      return make_add(std::move(out));
+    }
+    case Kind::Mul: {
+      std::vector<Ex> args;
+      args.reserve(n.args.size());
+      for (const Ex& a : n.args) {
+        args.push_back(factorize(a));
+      }
+      return make_mul(std::move(args));
+    }
+    case Kind::Pow:
+      return make_pow(factorize(n.args[0]), factorize(n.args[1]));
+    case Kind::Call:
+      return rebuild(e, {factorize(n.args[0])});
+    default:
+      return e;
+  }
+}
+
+}  // namespace jitfd::sym

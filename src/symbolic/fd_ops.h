@@ -1,0 +1,30 @@
+// Finite-difference operators on symbolic expressions.
+//
+// Derivatives act on whole expressions, not just single field accesses:
+// diff(cos_theta * diff(u, x), x) expands to a weighted sum of shifted
+// copies of the inner expression, which is exactly how the rotated
+// (TTI) Laplacian of the paper composes first derivatives with spatially
+// varying trigonometric coefficient fields.
+#pragma once
+
+#include "symbolic/expr.h"
+
+namespace jitfd::sym {
+
+/// Shift every FieldAccess in `e` by `k` points along space dimension
+/// `dim`. Symbols and numbers are unaffected.
+Ex shift_space(const Ex& e, int dim, int k);
+
+/// Spacing symbol for dimension `dim` ("h_x", "h_y", "h_z").
+Ex spacing_symbol(int dim);
+
+/// Central finite-difference approximation of the `deriv_order`-th
+/// derivative of `e` along `dim` with formal accuracy `space_order`,
+/// including the 1/h^m factor (as a symbolic Pow of the spacing symbol).
+Ex diff(const Ex& e, int dim, int deriv_order, int space_order);
+
+/// Staggered first derivative of `e` along `dim`, evaluated half a cell
+/// toward `side` (+1 or -1), accuracy `space_order`, including 1/h.
+Ex diff_stag(const Ex& e, int dim, int space_order, int side);
+
+}  // namespace jitfd::sym

@@ -1,0 +1,44 @@
+// Finite-difference weight generation (Fornberg's algorithm).
+//
+// Given arbitrary node positions and an evaluation point, computes the
+// weights of the interpolating-polynomial derivative approximation. The
+// DSL layer uses this to expand u.dx, u.dx2, u.laplace, and the staggered
+// derivatives of the elastic/viscoelastic propagators into weighted sums
+// of shifted field accesses.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace jitfd::sym {
+
+/// Fornberg weights for the `deriv_order`-th derivative at `x0` from
+/// samples at `nodes` (all positions in units of the grid spacing).
+/// Requires nodes.size() > deriv_order; nodes must be distinct.
+std::vector<double> fornberg_weights(int deriv_order, double x0,
+                                     std::span<const double> nodes);
+
+/// A one-dimensional stencil: integer grid offsets plus their weights
+/// (weights exclude the 1/h^m spacing factor, which the caller applies
+/// symbolically).
+struct Stencil1D {
+  std::vector<int> offsets;
+  std::vector<double> weights;
+};
+
+/// Central stencil of formal accuracy `space_order` for the
+/// `deriv_order`-th derivative (deriv_order in {1, 2}), evaluated at the
+/// node itself: offsets -r..r with r = space_order/2.
+/// `space_order` must be even and >= 2.
+Stencil1D central_stencil(int deriv_order, int space_order);
+
+/// Staggered first-derivative stencil of accuracy `space_order`:
+/// approximates d/dx at the point lying half a cell to the given side of
+/// the stored samples. With side=+1 the samples live at offsets
+/// {-r+1, ..., r} and the derivative is taken at +1/2 relative to offset 0
+/// (i.e. nodes k sit at positions k - 1/2 relative to the evaluation
+/// point); side=-1 mirrors this. Used by the staggered-grid elastic and
+/// viscoelastic propagators.
+Stencil1D staggered_stencil(int space_order, int side);
+
+}  // namespace jitfd::sym

@@ -1,0 +1,102 @@
+// Tests for the communication-pattern autotuner (the paper's Section
+// IV-F future-work item): trial side effects must be rolled back, the
+// choice must be one of the three patterns, and the tuned operator must
+// produce results identical to the serial reference.
+#include <gtest/gtest.h>
+
+#include "core/autotune.h"
+#include "grid/function.h"
+#include "smpi/runtime.h"
+#include "symbolic/manip.h"
+
+namespace {
+
+using jitfd::core::autotune_operator;
+using jitfd::core::AutotuneReport;
+using jitfd::core::Operator;
+using jitfd::grid::Grid;
+using jitfd::grid::TimeFunction;
+namespace ir = jitfd::ir;
+namespace sym = jitfd::sym;
+
+ir::Eq diffusion_eq(const TimeFunction& u) {
+  return ir::Eq(u.forward(),
+                sym::solve(u.dt() - u.laplace(), sym::Ex(0), u.forward()));
+}
+
+TEST(Autotune, SerialGridSkipsTrialsAndUsesNoComm) {
+  const Grid g({8, 8}, {1.0, 1.0});
+  TimeFunction u("u", g, 2, 1);
+  AutotuneReport report;
+  auto op = autotune_operator({diffusion_eq(u)}, {}, {{"dt", 1e-3}}, 0, 2,
+                              &report);
+  EXPECT_EQ(op->options().mode, ir::MpiMode::None);
+  EXPECT_TRUE(report.seconds.empty());
+  op->apply(0, 0, {{"dt", 1e-3}});
+}
+
+TEST(Autotune, TrialsAllPatternsAndRestoresData) {
+  smpi::run(4, [](smpi::Communicator& comm) {
+    const Grid g({16, 16}, {1.0, 1.0}, comm);
+    TimeFunction u("u", g, 2, 1);
+    u.fill_global_box(0, std::vector<std::int64_t>{4, 4},
+                      std::vector<std::int64_t>{12, 12}, 1.0F);
+    const std::vector<float> before(u.raw_storage().begin(),
+                                    u.raw_storage().end());
+    AutotuneReport report;
+    auto op = autotune_operator({diffusion_eq(u)}, {}, {{"dt", 1e-3}}, 0, 2,
+                                &report);
+    // All three patterns were measured.
+    ASSERT_EQ(report.seconds.size(), 3U);
+    EXPECT_EQ(report.trial_steps, 2);
+    EXPECT_GT(report.seconds.at(ir::MpiMode::Basic), 0.0);
+    EXPECT_TRUE(op->options().mode == ir::MpiMode::Basic ||
+                op->options().mode == ir::MpiMode::Diagonal ||
+                op->options().mode == ir::MpiMode::Full);
+    // The winner is the pattern with the smallest measured time.
+    for (const auto& [mode, secs] : report.seconds) {
+      EXPECT_GE(secs, report.seconds.at(op->options().mode));
+    }
+    // Trial side effects were rolled back.
+    const std::vector<float> after(u.raw_storage().begin(),
+                                   u.raw_storage().end());
+    EXPECT_EQ(before, after);
+    // Every rank agrees on the winner (timings were max-reduced).
+    std::vector<std::int64_t> mode_id{static_cast<int>(op->options().mode)};
+    std::vector<std::int64_t> mode_max = mode_id;
+    comm.allreduce(std::span<std::int64_t>(mode_max), smpi::ReduceOp::Max);
+    EXPECT_EQ(mode_id[0], mode_max[0]);
+  });
+}
+
+TEST(Autotune, TunedOperatorMatchesSerialReference) {
+  const std::int64_t n = 12;
+  const int steps = 4;
+  const double dt = 1e-3;
+  std::vector<float> expected;
+  {
+    const Grid g({n, n}, {1.0, 1.0});
+    TimeFunction u("u", g, 2, 1);
+    u.fill_global_box(0, std::vector<std::int64_t>{1, 1},
+                      std::vector<std::int64_t>{n - 1, n - 1}, 1.0F);
+    Operator op({diffusion_eq(u)});
+    op.apply(0, steps - 1, {{"dt", dt}});
+    expected = u.gather(steps % 2);
+  }
+  smpi::run(4, [&](smpi::Communicator& comm) {
+    const Grid g({n, n}, {1.0, 1.0}, comm);
+    TimeFunction u("u", g, 2, 1);
+    u.fill_global_box(0, std::vector<std::int64_t>{1, 1},
+                      std::vector<std::int64_t>{n - 1, n - 1}, 1.0F);
+    auto op = autotune_operator({diffusion_eq(u)}, {}, {{"dt", dt}}, 0, 2);
+    op->apply(0, steps - 1, {{"dt", dt}});
+    const auto got = u.gather(steps % 2);
+    if (comm.rank() == 0) {
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        ASSERT_NEAR(got[i], expected[i], 1e-6) << "at " << i;
+      }
+    }
+  });
+}
+
+}  // namespace

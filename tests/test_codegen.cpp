@@ -1,0 +1,340 @@
+// Code-generation tests: structure of the emitted C (the paper's
+// Listing 11 analogue), OpenACC variant, and JIT-vs-interpreter
+// functional equivalence.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "codegen/jit.h"
+#include "core/operator.h"
+#include "grid/function.h"
+#include "models/tti.h"
+#include "smpi/runtime.h"
+#include "symbolic/fd_ops.h"
+#include "symbolic/manip.h"
+
+namespace {
+
+using jitfd::core::Operator;
+using jitfd::grid::Grid;
+using jitfd::grid::TimeFunction;
+namespace ir = jitfd::ir;
+namespace sym = jitfd::sym;
+
+bool have_cc() {
+  return std::system("cc --version > /dev/null 2>&1") == 0;
+}
+
+Operator diffusion_operator(const Grid& /*grid*/, TimeFunction& u,
+                            ir::CompileOptions opts = {}) {
+  return Operator({ir::Eq(
+      u.forward(), sym::solve(u.dt() - u.laplace(), sym::Ex(0), u.forward()))},
+                  opts);
+}
+
+TEST(Codegen, DiffusionKernelStructureMatchesListing11) {
+  // The paper's Listing 11: hoisted reciprocal temps, a modulo-indexed
+  // time loop, aligned accesses u[t][x + halo][y + halo], and the stencil
+  // assignment built from r-temps.
+  const Grid g({4, 4}, {2.0, 2.0});
+  TimeFunction u("u", g, 2, 1);
+  Operator op = diffusion_operator(g, u);
+  const std::string& code = op.ccode();
+
+  // Hoisted invariants (r0 = 1/dt-like and the 1/h^2 factors).
+  EXPECT_NE(code.find("const float r0"), std::string::npos) << code;
+  // Time loop and modulo buffer indices for a 2-buffer field.
+  EXPECT_NE(code.find("for (long time = time_m; time <= time_M; time += 1)"),
+            std::string::npos);
+  EXPECT_NE(code.find("(time + 2) % 2"), std::string::npos);
+  EXPECT_NE(code.find("(time + 3) % 2"), std::string::npos);
+  // Access alignment: SDO 2 => halo 2, so the write is u[...][x + 2][y + 2].
+  EXPECT_NE(code.find("[x + 2][y + 2] ="), std::string::npos) << code;
+  // OpenMP annotations on the loop nest.
+  EXPECT_NE(code.find("#pragma omp parallel for"), std::string::npos);
+  EXPECT_NE(code.find("#pragma omp simd"), std::string::npos);
+  // No communication calls on a serial grid.
+  EXPECT_EQ(code.find("ops->update"), std::string::npos);
+}
+
+TEST(Codegen, BasicModeEmitsHaloUpdateInsideTimeLoop) {
+  smpi::run(4, [](smpi::Communicator& comm) {
+    const Grid g({8, 8}, {1.0, 1.0}, comm);
+    TimeFunction u("u", g, 2, 1);
+    ir::CompileOptions opts;
+    opts.mode = ir::MpiMode::Basic;
+    Operator op = diffusion_operator(g, u, opts);
+    const std::string& code = op.ccode();
+    const auto loop_pos =
+        code.find("for (long time = time_m; time <= time_M; time += 1)");
+    const auto update_pos = code.find("ops->update(hctx, 0, time);");
+    ASSERT_NE(loop_pos, std::string::npos);
+    ASSERT_NE(update_pos, std::string::npos);
+    EXPECT_LT(loop_pos, update_pos);
+  });
+}
+
+TEST(Codegen, FullModeEmitsStartCoreWaitRemainderAndProgress) {
+  smpi::run(4, [](smpi::Communicator& comm) {
+    const Grid g({32, 32}, {1.0, 1.0}, comm);
+    TimeFunction u("u", g, 2, 1);
+    ir::CompileOptions opts;
+    opts.mode = ir::MpiMode::Full;
+    opts.block = 8;
+    Operator op = diffusion_operator(g, u, opts);
+    const std::string& code = op.ccode();
+    const auto start = code.find("ops->start(hctx, 0, time);");
+    const auto core = code.find("/* section: core */");
+    const auto progress = code.find("ops->progress(hctx);");
+    const auto wait = code.find("ops->wait(hctx, 0);");
+    const auto remainder = code.find("/* section: remainder */");
+    ASSERT_NE(start, std::string::npos) << code;
+    ASSERT_NE(progress, std::string::npos);
+    EXPECT_LT(start, core);
+    EXPECT_LT(core, progress);
+    EXPECT_LT(progress, wait);
+    EXPECT_LT(wait, remainder);
+  });
+}
+
+TEST(Codegen, OpenAccVariantUsesAccPragmas) {
+  const Grid g({8, 8, 8}, {1.0, 1.0, 1.0});
+  TimeFunction u("u", g, 2, 1);
+  ir::CompileOptions opts;
+  opts.lang = ir::Lang::OpenAcc;
+  Operator op = diffusion_operator(g, u, opts);
+  const std::string& code = op.ccode();
+  EXPECT_NE(code.find("#pragma acc parallel loop collapse(3)"),
+            std::string::npos)
+      << code;
+  EXPECT_EQ(code.find("#pragma omp"), std::string::npos);
+}
+
+TEST(Codegen, BlockedLoopsEmitTiles) {
+  const Grid g({32, 32}, {1.0, 1.0});
+  TimeFunction u("u", g, 2, 1);
+  ir::CompileOptions opts;
+  opts.block = 8;
+  Operator op = diffusion_operator(g, u, opts);
+  const std::string& code = op.ccode();
+  EXPECT_NE(code.find("for (long xb = 0; xb < 32; xb += 8)"),
+            std::string::npos)
+      << code;
+}
+
+TEST(CodegenJit, JitMatchesInterpreterOnDiffusion) {
+  if (!have_cc()) {
+    GTEST_SKIP() << "no C compiler available";
+  }
+  const std::int64_t n = 12;
+  const double dt = 1e-3;
+  auto run = [&](Operator::Backend backend) {
+    const Grid g({n, n}, {1.0, 1.0});
+    TimeFunction u("u", g, 4, 1);
+    const std::vector<std::int64_t> lo{2, 3};
+    const std::vector<std::int64_t> hi{7, 9};
+    u.fill_global_box(0, lo, hi, 1.0F);
+    Operator op = diffusion_operator(g, u);
+    op.set_backend(backend);
+    op.apply(0, 4, {{"dt", dt}});
+    if (backend == Operator::Backend::Jit) {
+      EXPECT_GT(op.jit_compile_seconds(), 0.0);
+    }
+    return u.gather(5 % 2);
+  };
+  const auto interp = run(Operator::Backend::Interpret);
+  const auto jit = run(Operator::Backend::Jit);
+  ASSERT_EQ(interp.size(), jit.size());
+  for (std::size_t i = 0; i < interp.size(); ++i) {
+    ASSERT_NEAR(interp[i], jit[i], 1e-6) << "at " << i;
+  }
+}
+
+TEST(CodegenJit, JitRunsDistributedBasicMode) {
+  if (!have_cc()) {
+    GTEST_SKIP() << "no C compiler available";
+  }
+  const std::int64_t n = 12;
+  const double dt = 1e-3;
+  // Serial interpreter reference.
+  std::vector<float> expected;
+  {
+    const Grid g({n, n}, {1.0, 1.0});
+    TimeFunction u("u", g, 2, 1);
+    const std::vector<std::int64_t> lo{1, 1};
+    const std::vector<std::int64_t> hi{n - 1, n - 1};
+    u.fill_global_box(0, lo, hi, 1.0F);
+    Operator op = diffusion_operator(g, u);
+    op.apply(0, 3, {{"dt", dt}});
+    expected = u.gather(0);
+  }
+  smpi::run(2, [&](smpi::Communicator& comm) {
+    const Grid g({n, n}, {1.0, 1.0}, comm);
+    TimeFunction u("u", g, 2, 1);
+    const std::vector<std::int64_t> lo{1, 1};
+    const std::vector<std::int64_t> hi{n - 1, n - 1};
+    u.fill_global_box(0, lo, hi, 1.0F);
+    ir::CompileOptions opts;
+    opts.mode = ir::MpiMode::Basic;
+    Operator op = diffusion_operator(g, u, opts);
+    op.set_backend(Operator::Backend::Jit);
+    op.apply(0, 3, {{"dt", dt}});
+    const auto got = u.gather(0);
+    if (comm.rank() == 0) {
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        ASSERT_NEAR(got[i], expected[i], 1e-6) << "at " << i;
+      }
+    }
+  });
+}
+
+TEST(Codegen, ThreeDimensionalEmissionIndexesAllDims) {
+  const Grid g({6, 7, 8}, {1.0, 1.0, 1.0});
+  TimeFunction u("u", g, 2, 1);
+  Operator op = diffusion_operator(g, u);
+  const std::string& code = op.ccode();
+  EXPECT_NE(code.find("for (long z = 0; z < 8; z += 1)"), std::string::npos)
+      << code;
+  EXPECT_NE(code.find("[x + 2][y + 2][z + 2] ="), std::string::npos);
+  // VLA-pointer cast bakes the padded extents of the two inner dims.
+  EXPECT_NE(code.find("[11][12]"), std::string::npos) << code;
+}
+
+TEST(Codegen, EnvVarSelectsPattern) {
+  smpi::run(2, [](smpi::Communicator& comm) {
+    const Grid g({8, 8}, {1.0, 1.0}, comm);
+    TimeFunction u("u", g, 2, 1);
+    ::setenv("JITFD_MPI", "diag", 1);
+    Operator op = diffusion_operator(g, u);  // Mode None requested.
+    ::unsetenv("JITFD_MPI");
+    EXPECT_EQ(op.options().mode, ir::MpiMode::Diagonal);
+  });
+  EXPECT_EQ(ir::mode_from_string("full"), ir::MpiMode::Full);
+  EXPECT_EQ(ir::mode_from_string("1"), ir::MpiMode::Basic);
+  EXPECT_THROW(ir::mode_from_string("bogus"), std::invalid_argument);
+}
+
+TEST(CodegenJit, BlockedKernelMatchesUnblocked) {
+  if (!have_cc()) {
+    GTEST_SKIP() << "no C compiler available";
+  }
+  const std::int64_t n = 21;  // Not a multiple of the block size.
+  const double dt = 1e-3;
+  auto run = [&](std::int64_t block) {
+    const Grid g({n, n}, {1.0, 1.0});
+    TimeFunction u("u", g, 2, 1);
+    u.fill_global_box(0, std::vector<std::int64_t>{3, 5},
+                      std::vector<std::int64_t>{15, 17}, 1.0F);
+    ir::CompileOptions opts;
+    opts.block = block;
+    Operator op = diffusion_operator(g, u, opts);
+    op.set_backend(Operator::Backend::Jit);
+    op.apply(0, 3, {{"dt", dt}});
+    return u.gather(4 % 2);
+  };
+  const auto plain = run(0);
+  const auto blocked = run(8);
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    ASSERT_EQ(plain[i], blocked[i]) << "at " << i;
+  }
+}
+
+TEST(CodegenJit, TtiKernelWithSqrtCompilesAndRuns) {
+  if (!have_cc()) {
+    GTEST_SKIP() << "no C compiler available";
+  }
+  // TTI's sqrt(1 + 2*delta) exercises Call emission (sqrtf).
+  const Grid g({16, 16}, {1.0, 1.0});
+  jitfd::models::TtiModel model(g, 4);
+  model.wavefield().fill_global_box(0, std::vector<std::int64_t>{7, 7},
+                                    std::vector<std::int64_t>{9, 9}, 1e-3F);
+  auto op = model.make_operator({});
+  EXPECT_NE(op->ccode().find("sqrtf("), std::string::npos);
+  // Interpreter reference.
+  op->apply(0, 3, model.scalars(model.critical_dt()));
+  const auto expected = model.wavefield().gather(4 % 3);
+
+  const Grid g2({16, 16}, {1.0, 1.0});
+  jitfd::models::TtiModel model2(g2, 4);
+  model2.wavefield().fill_global_box(0, std::vector<std::int64_t>{7, 7},
+                                     std::vector<std::int64_t>{9, 9}, 1e-3F);
+  auto op2 = model2.make_operator({});
+  op2->set_backend(Operator::Backend::Jit);
+  op2->apply(0, 3, model2.scalars(model2.critical_dt()));
+  const auto got = model2.wavefield().gather(4 % 3);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_NEAR(got[i], expected[i], 1e-7) << "at " << i;
+  }
+}
+
+TEST(CodegenJit, OneDimensionalKernelCompiles) {
+  if (!have_cc()) {
+    GTEST_SKIP() << "no C compiler available";
+  }
+  const Grid g({17}, {1.0});
+  TimeFunction u("u", g, 2, 1);
+  u.set_global(0, std::vector<std::int64_t>{8}, 1.0F);
+  const sym::Ex pde = u.dt() - sym::diff(u.now(), 0, 2, 2);
+  Operator op({ir::Eq(u.forward(), sym::solve(pde, sym::Ex(0), u.forward()))});
+  op.set_backend(Operator::Backend::Jit);
+  op.apply(0, 9, {{"dt", 1e-3}});
+  const auto data = u.gather(10 % 2);
+  double mass = 0.0;
+  for (const float v : data) {
+    mass += v;
+  }
+  EXPECT_NEAR(mass, 1.0, 1e-3);  // Diffusion conserves interior mass.
+}
+
+TEST(CodegenJit, PaddedFieldsIndexThroughTheFullLeftOffset) {
+  if (!have_cc()) {
+    GTEST_SKIP() << "no C compiler available";
+  }
+  // padding > 0 shifts the data region by halo+padding; the generated
+  // code must match the interpreter exactly.
+  const std::int64_t n = 10;
+  auto run = [&](Operator::Backend backend) {
+    const Grid g({n, n}, {1.0, 1.0});
+    TimeFunction u("u", g, 2, 1, /*padding=*/3);
+    u.fill_global_box(0, std::vector<std::int64_t>{2, 2},
+                      std::vector<std::int64_t>{8, 8}, 1.0F);
+    Operator op = diffusion_operator(g, u);
+    EXPECT_NE(op.ccode().find("[x + 5][y + 5]"), std::string::npos)
+        << op.ccode();  // lpad = halo(2) + padding(3).
+    op.set_backend(backend);
+    op.apply(0, 2, {{"dt", 1e-3}});
+    return u.gather(3 % 2);
+  };
+  const auto interp = run(Operator::Backend::Interpret);
+  const auto jit = run(Operator::Backend::Jit);
+  for (std::size_t i = 0; i < interp.size(); ++i) {
+    ASSERT_NEAR(interp[i], jit[i], 1e-6) << "at " << i;
+  }
+}
+
+TEST(Operator, RejectsMixedGridsAndDeadFields) {
+  const Grid g1({8, 8}, {1.0, 1.0});
+  const Grid g2({8, 8}, {1.0, 1.0});
+  TimeFunction u("u", g1, 2, 1);
+  TimeFunction v("v", g2, 2, 1);
+  EXPECT_THROW(Operator({ir::Eq(u.forward(), v.now() + 1)}),
+               std::invalid_argument);
+
+  sym::Ex dangling;
+  {
+    TimeFunction w("w", g1, 2, 1);
+    dangling = w.forward();
+  }  // w destroyed: the registry entry is gone.
+  EXPECT_THROW(Operator({ir::Eq(dangling, sym::Ex(1))}),
+               std::invalid_argument);
+}
+
+TEST(CodegenJit, CompileFailureSurfacesDiagnostics) {
+  if (!have_cc()) {
+    GTEST_SKIP() << "no C compiler available";
+  }
+  EXPECT_THROW(jitfd::codegen::JitKernel("this is not C;", false),
+               std::runtime_error);
+}
+
+}  // namespace

@@ -1,0 +1,223 @@
+// Randomized property tests.
+//
+// Expression system: canonical construction must be deterministic and
+// value-preserving under every flop-reducing transformation (expand,
+// factorize, CSE round trip) — checked by evaluating random expression
+// trees at random bindings. Substrate: a deterministic message storm
+// must deliver every payload exactly once in per-pair order.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <random>
+
+#include "smpi/runtime.h"
+#include "symbolic/cse.h"
+#include "symbolic/expr.h"
+#include "symbolic/manip.h"
+
+namespace {
+
+namespace sym = jitfd::sym;
+using sym::Ex;
+
+// Deterministic random expression over symbols a..d with bounded depth.
+Ex random_expr(std::mt19937& rng, int depth) {
+  std::uniform_int_distribution<int> kind(0, depth <= 0 ? 1 : 5);
+  static const char* kNames[] = {"a", "b", "c", "d"};
+  switch (kind(rng)) {
+    case 0: {
+      std::uniform_int_distribution<int> v(-4, 4);
+      return Ex(v(rng));
+    }
+    case 1: {
+      std::uniform_int_distribution<int> s(0, 3);
+      return sym::symbol(kNames[s(rng)]);
+    }
+    case 2:
+      return random_expr(rng, depth - 1) + random_expr(rng, depth - 1);
+    case 3:
+      return random_expr(rng, depth - 1) - random_expr(rng, depth - 1);
+    case 4:
+      return random_expr(rng, depth - 1) * random_expr(rng, depth - 1);
+    default: {
+      std::uniform_int_distribution<int> e(1, 3);
+      return pow(random_expr(rng, depth - 1), e(rng));
+    }
+  }
+}
+
+// Reference evaluator (double precision, no simplification assumptions).
+double eval(const Ex& e, const std::map<std::string, double>& env) {
+  const sym::ExprNode& n = e.node();
+  switch (n.kind) {
+    case sym::Kind::Number:
+      return n.value;
+    case sym::Kind::Symbol:
+      return env.at(n.name);
+    case sym::Kind::Add: {
+      double acc = 0.0;
+      for (const Ex& a : n.args) {
+        acc += eval(a, env);
+      }
+      return acc;
+    }
+    case sym::Kind::Mul: {
+      double acc = 1.0;
+      for (const Ex& a : n.args) {
+        acc *= eval(a, env);
+      }
+      return acc;
+    }
+    case sym::Kind::Pow:
+      return std::pow(eval(n.args[0], env), eval(n.args[1], env));
+    case sym::Kind::Call: {
+      const double a = eval(n.args[0], env);
+      if (n.name == "sqrt") return std::sqrt(a);
+      if (n.name == "sin") return std::sin(a);
+      if (n.name == "cos") return std::cos(a);
+      if (n.name == "exp") return std::exp(a);
+      return std::fabs(a);
+    }
+    default:
+      ADD_FAILURE() << "unexpected node kind";
+      return 0.0;
+  }
+}
+
+// Bindings chosen to avoid poles of 1/x terms.
+const std::map<std::string, double> kEnv{
+    {"a", 1.37}, {"b", -0.82}, {"c", 2.05}, {"d", 0.51}};
+
+constexpr double kTol = 1e-6;
+
+double rel_tol(double reference) {
+  return kTol * std::max(1.0, std::abs(reference));
+}
+
+TEST(ExprProperties, TransformationsPreserveValue) {
+  std::mt19937 rng(20260704);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Ex e = random_expr(rng, 4);
+    const double reference = eval(e, kEnv);
+    if (!std::isfinite(reference) || std::abs(reference) > 1e9) {
+      continue;  // Overflowing trees are not interesting here.
+    }
+    EXPECT_NEAR(eval(sym::expand(e), kEnv), reference, rel_tol(reference))
+        << "expand broke: " << e.to_string();
+    EXPECT_NEAR(eval(sym::factorize(e), kEnv), reference, rel_tol(reference))
+        << "factorize broke: " << e.to_string();
+
+    // CSE round trip: substitute the temps back in.
+    auto result = sym::cse({e});
+    Ex rebuilt = result.exprs[0];
+    for (auto it = result.temps.rbegin(); it != result.temps.rend(); ++it) {
+      rebuilt = sym::substitute(rebuilt, sym::symbol(it->name), it->value);
+    }
+    EXPECT_NEAR(eval(rebuilt, kEnv), reference, rel_tol(reference))
+        << "cse broke: " << e.to_string();
+
+    // Invariant extraction round trip.
+    auto inv = sym::extract_invariants({e});
+    Ex rebuilt2 = inv.exprs[0];
+    for (auto it = inv.temps.rbegin(); it != inv.temps.rend(); ++it) {
+      rebuilt2 = sym::substitute(rebuilt2, sym::symbol(it->name), it->value);
+    }
+    EXPECT_NEAR(eval(rebuilt2, kEnv), reference, rel_tol(reference))
+        << "invariants broke: " << e.to_string();
+  }
+}
+
+TEST(ExprProperties, CanonicalFormIsOrderIndependent) {
+  // Building the same sum/product from shuffled operand orders must give
+  // structurally identical (hash-equal, print-equal) expressions.
+  std::mt19937 rng(42);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<Ex> terms;
+    for (int i = 0; i < 6; ++i) {
+      terms.push_back(random_expr(rng, 2));
+    }
+    std::vector<Ex> shuffled = terms;
+    std::shuffle(shuffled.begin(), shuffled.end(), rng);
+    const Ex sum1 = sym::make_add(terms);
+    const Ex sum2 = sym::make_add(shuffled);
+    EXPECT_TRUE(sum1 == sum2) << sum1.to_string() << " vs "
+                              << sum2.to_string();
+    EXPECT_EQ(sum1.hash(), sum2.hash());
+    const Ex mul1 = sym::make_mul(terms);
+    const Ex mul2 = sym::make_mul(shuffled);
+    EXPECT_TRUE(mul1 == mul2);
+  }
+}
+
+TEST(ExprProperties, FlopReductionNeverIncreasesCost) {
+  std::mt19937 rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Ex e = random_expr(rng, 4);
+    EXPECT_LE(sym::count_flops(sym::factorize(e)), sym::count_flops(e))
+        << e.to_string();
+    auto result = sym::cse({e});
+    int total = sym::count_flops(result.exprs[0]);
+    for (const auto& t : result.temps) {
+      total += sym::count_flops(t.value);
+    }
+    EXPECT_LE(total, sym::count_flops(e)) << e.to_string();
+  }
+}
+
+TEST(SmpiProperties, MessageStormDeliversExactlyOnceInOrder) {
+  // Every rank sends `kMsgs` tagged payloads to every other rank; the
+  // receiver must observe each (source, tag) stream complete and in
+  // order. Deterministic per-pair payload encoding makes loss, drop,
+  // duplication or reordering detectable.
+  constexpr int kRanks = 4;
+  constexpr int kMsgs = 50;
+  smpi::run(kRanks, [](smpi::Communicator& comm) {
+    const int me = comm.rank();
+    for (int dst = 0; dst < kRanks; ++dst) {
+      if (dst == me) {
+        continue;
+      }
+      for (int k = 0; k < kMsgs; ++k) {
+        const std::int64_t payload = 1000000LL * me + 1000LL * dst + k;
+        comm.send_n(&payload, 1, dst, /*tag=*/k % 5);
+      }
+    }
+    // Receive: per (source, tag) streams must be ordered by k.
+    std::map<std::pair<int, int>, int> next_k;
+    for (int i = 0; i < (kRanks - 1) * kMsgs; ++i) {
+      std::int64_t payload = -1;
+      const auto st = comm.recv_n(&payload, 1, smpi::kAnySource,
+                                  smpi::kAnyTag);
+      const int src = static_cast<int>(payload / 1000000LL);
+      const int dst = static_cast<int>((payload / 1000LL) % 1000LL);
+      const int k = static_cast<int>(payload % 1000LL);
+      ASSERT_EQ(src, st.source);
+      ASSERT_EQ(dst, me);
+      ASSERT_EQ(k % 5, st.tag);
+      // Within one (source, tag) stream the k values sent were
+      // tag, tag+5, tag+10, ... and must arrive in that order.
+      auto& seen = next_k[{st.source, st.tag}];
+      ASSERT_EQ(k, st.tag + 5 * seen)
+          << "stream (" << st.source << "," << st.tag << ")";
+      ++seen;
+    }
+    comm.barrier();
+  });
+}
+
+TEST(SmpiProperties, ConcurrentCollectivesStayCoherent) {
+  smpi::run(6, [](smpi::Communicator& comm) {
+    for (int round = 0; round < 25; ++round) {
+      std::vector<double> v{static_cast<double>(comm.rank() + round)};
+      comm.allreduce(std::span<double>(v), smpi::ReduceOp::Sum);
+      const double expected = 15.0 + 6.0 * round;  // sum(0..5) + 6*round.
+      ASSERT_DOUBLE_EQ(v[0], expected);
+      int token = comm.rank() == round % 6 ? round : -1;
+      comm.bcast(&token, sizeof(int), round % 6);
+      ASSERT_EQ(token, round);
+    }
+  });
+}
+
+}  // namespace
