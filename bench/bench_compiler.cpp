@@ -61,8 +61,38 @@ void BM_JitCompileAcoustic(benchmark::State& state) {
   jitfd::models::AcousticModel model(g, 8);
   auto op = model.make_operator({});
   const std::string& code = op->ccode();
+  // The compile cache would serve every iteration after the first from
+  // the same .so; salt the source per iteration so each one measures a
+  // real external-compiler invocation.
+  std::int64_t salt = 0;
+  for (auto _ : state) {
+    jitfd::codegen::JitKernel kernel(
+        code + "\n/* bench-salt " + std::to_string(salt++) + " */\n",
+        /*openmp=*/true);
+    benchmark::DoNotOptimize(&kernel);
+  }
+  state.counters["compiles"] =
+      static_cast<double>(jitfd::codegen::JitKernel::cache_misses());
+}
+
+void BM_JitCacheHitAcoustic(benchmark::State& state) {
+  // The counterpart: repeat builds of an identical kernel are served
+  // from the in-memory compile cache (dlopen only, no compiler).
+  if (std::system("cc --version > /dev/null 2>&1") != 0) {
+    state.SkipWithError("no C compiler");
+    return;
+  }
+  const Grid g({16, 16, 16}, {1.0, 1.0, 1.0});
+  jitfd::models::AcousticModel model(g, 8);
+  auto op = model.make_operator({});
+  const std::string& code = op->ccode();
+  jitfd::codegen::JitKernel warmup(code, /*openmp=*/true);
   for (auto _ : state) {
     jitfd::codegen::JitKernel kernel(code, /*openmp=*/true);
+    if (!kernel.cache_hit()) {
+      state.SkipWithError("expected a cache hit");
+      return;
+    }
     benchmark::DoNotOptimize(&kernel);
   }
 }
@@ -74,5 +104,6 @@ BENCHMARK(BM_LowerTti)->Arg(4)->Arg(8)->Arg(16);
 BENCHMARK(BM_EmitAcoustic)->Arg(8);
 BENCHMARK(BM_EmitTti)->Arg(8);
 BENCHMARK(BM_JitCompileAcoustic)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_JitCacheHitAcoustic)->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

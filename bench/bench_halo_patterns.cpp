@@ -46,6 +46,14 @@ void run_steps(benchmark::State& state, ir::MpiMode mode, int nranks,
                                       kStepsPerIteration;
         state.counters["bytes/step"] =
             static_cast<double>(stats.bytes_sent) / kStepsPerIteration;
+        // Transport-level evidence for the zero-copy hot path: mean
+        // payload copies per message (1.0 = every delivery rendezvous)
+        // and the unexpected-payload pool's allocation behaviour
+        // (misses stop after warmup, hits take over).
+        state.counters["copies/msg"] = stats.copies_per_message;
+        state.counters["pool_hits"] = static_cast<double>(stats.pool_hits);
+        state.counters["pool_misses"] =
+            static_cast<double>(stats.pool_misses);
       }
     });
     steps_done += kStepsPerIteration;

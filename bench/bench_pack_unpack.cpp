@@ -1,9 +1,15 @@
 // Measures halo-buffer pack/unpack throughput for the two slab
 // orientations of the full-mode remainder discussion (paper Section
-// IV-F): faces contiguous along the innermost dimension (long memcpy
-// rows) versus faces perpendicular to it (rows truncated to the halo
-// width). The measured throughput ratio substantiates the remainder
-// stride penalty used by the analytical model (perfmodel/scaling.cpp).
+// IV-F): faces contiguous along the innermost dimension (long rows)
+// versus faces perpendicular to it (rows truncated to the halo width).
+// The measured throughput ratio substantiates the remainder stride
+// penalty used by the analytical model (perfmodel/scaling.cpp).
+//
+// The kernels under test are the production ones: a RowPlan built once
+// (as register_spot does) driven through copy_rows_gather/scatter,
+// including the OpenMP-chunked variant the runtime selects for large
+// volumes. Per-iteration counters (rows, row length, plan bytes) are
+// reported so regressions can be attributed to geometry vs copy speed.
 #include <benchmark/benchmark.h>
 
 #include <vector>
@@ -16,76 +22,97 @@ namespace {
 
 using jitfd::grid::Function;
 using jitfd::grid::Grid;
+using jitfd::runtime::HaloExchange;
+using jitfd::runtime::make_row_plan;
+using jitfd::runtime::RowPlan;
 
 constexpr std::int64_t kEdge = 128;
 constexpr int kWidth = 4;
 
-// Pack the x-low face (thin along x: rows stay full length along z) or
-// the z-low face (thin along z: every row is kWidth floats).
-template <bool ThinAlongInner>
-void pack_face(benchmark::State& state) {
-  const Grid g({kEdge, kEdge, kEdge}, {1.0, 1.0, 1.0});
-  Function f("f", g, 8);
-  f.fill(1.0F);
-  const std::int64_t L = f.lpad();
+struct FaceCase {
+  Grid grid;
+  Function field;
+  HaloExchange::Box box;
+  RowPlan plan;
 
-  jitfd::runtime::HaloExchange::Box box;
-  if (ThinAlongInner) {
-    box.lo = {L, L, L};
-    box.hi = {L + kEdge, L + kEdge, L + kWidth};
-  } else {
-    box.lo = {L, L, L};
-    box.hi = {L + kWidth, L + kEdge, L + kEdge};
-  }
-
-  std::int64_t count = 1;
-  for (std::size_t d = 0; d < 3; ++d) {
-    count *= box.hi[d] - box.lo[d];
-  }
-  std::vector<float> buffer(static_cast<std::size_t>(count));
-
-  // Reuse the runtime's row iterator through a tiny serial-mode
-  // exchanger facade: the pack path is identical to production.
-  const std::vector<std::int64_t> strides{
-      f.padded_shape()[1] * f.padded_shape()[2], f.padded_shape()[2], 1};
-  for (auto _ : state) {
-    const float* base = f.buffer(0);
-    std::size_t cursor = 0;
-    std::vector<std::int64_t> idx(box.lo.begin(), box.lo.end());
-    const std::int64_t row = box.hi[2] - box.lo[2];
-    const std::int64_t rows = count / row;
-    for (std::int64_t r = 0; r < rows; ++r) {
-      std::int64_t off = 0;
-      for (std::size_t d = 0; d < 3; ++d) {
-        off += idx[d] * strides[d];
-      }
-      std::memcpy(buffer.data() + cursor, base + off,
-                  static_cast<std::size_t>(row) * sizeof(float));
-      cursor += static_cast<std::size_t>(row);
-      for (std::size_t d = 2; d-- > 0;) {
-        if (++idx[d] < box.hi[d]) {
-          break;
-        }
-        idx[d] = box.lo[d];
-      }
+  explicit FaceCase(bool thin_along_inner)
+      : grid({kEdge, kEdge, kEdge}, {1.0, 1.0, 1.0}), field("f", grid, 8) {
+    field.fill(1.0F);
+    const std::int64_t L = field.lpad();
+    if (thin_along_inner) {
+      box.lo = {L, L, L};
+      box.hi = {L + kEdge, L + kEdge, L + kWidth};
+    } else {
+      box.lo = {L, L, L};
+      box.hi = {L + kWidth, L + kEdge, L + kEdge};
     }
+    plan = make_row_plan(field, box);
+  }
+};
+
+void report(benchmark::State& state, const RowPlan& plan) {
+  const std::int64_t bytes =
+      plan.total() * static_cast<std::int64_t>(sizeof(float));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          bytes);
+  state.counters["rows"] = static_cast<double>(plan.offsets.size());
+  state.counters["row_floats"] = static_cast<double>(plan.row);
+  state.counters["face_bytes"] = static_cast<double>(bytes);
+}
+
+void run_pack(benchmark::State& state, bool thin_along_inner, bool parallel) {
+  FaceCase c(thin_along_inner);
+  std::vector<float> buffer(static_cast<std::size_t>(c.plan.total()));
+  for (auto _ : state) {
+    jitfd::runtime::copy_rows_gather(c.field.buffer(0), c.plan, buffer.data(),
+                                     parallel);
     benchmark::DoNotOptimize(buffer.data());
     benchmark::ClobberMemory();
   }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          count * static_cast<std::int64_t>(sizeof(float)));
+  report(state, c.plan);
 }
 
-void BM_PackContiguousFace(benchmark::State& state) {
-  pack_face<false>(state);  // Thin along x: long rows.
+void run_unpack(benchmark::State& state, bool thin_along_inner,
+                bool parallel) {
+  FaceCase c(thin_along_inner);
+  std::vector<float> buffer(static_cast<std::size_t>(c.plan.total()), 2.0F);
+  for (auto _ : state) {
+    jitfd::runtime::copy_rows_scatter(c.field.buffer(0), c.plan,
+                                      buffer.data(), parallel);
+    benchmark::DoNotOptimize(c.field.buffer(0));
+    benchmark::ClobberMemory();
+  }
+  report(state, c.plan);
 }
+
+// Thin along x: rows stay full length along z (128 floats).
+void BM_PackContiguousFace(benchmark::State& state) {
+  run_pack(state, false, false);
+}
+// Thin along z: every row is kWidth floats.
 void BM_PackStridedFace(benchmark::State& state) {
-  pack_face<true>(state);  // Thin along z: 4-float rows.
+  run_pack(state, true, false);
+}
+void BM_UnpackContiguousFace(benchmark::State& state) {
+  run_unpack(state, false, false);
+}
+void BM_UnpackStridedFace(benchmark::State& state) {
+  run_unpack(state, true, false);
+}
+void BM_PackContiguousFaceThreaded(benchmark::State& state) {
+  run_pack(state, false, true);
+}
+void BM_PackStridedFaceThreaded(benchmark::State& state) {
+  run_pack(state, true, true);
 }
 
 }  // namespace
 
 BENCHMARK(BM_PackContiguousFace);
 BENCHMARK(BM_PackStridedFace);
+BENCHMARK(BM_UnpackContiguousFace);
+BENCHMARK(BM_UnpackStridedFace);
+BENCHMARK(BM_PackContiguousFaceThreaded);
+BENCHMARK(BM_PackStridedFaceThreaded);
 
 BENCHMARK_MAIN();

@@ -1,0 +1,14 @@
+// Minimal SHA-256 (FIPS 180-4) for content-addressing JIT-compiled
+// kernels. Not a general-purpose crypto library: one-shot hashing of
+// in-memory strings only, which is all the compile cache needs.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace jitfd::codegen {
+
+/// Hex digest (64 lowercase characters) of `data`.
+std::string sha256_hex(std::string_view data);
+
+}  // namespace jitfd::codegen

@@ -204,6 +204,7 @@ void Operator::run_jit(std::int64_t time_m, std::int64_t time_M,
     jit_ = std::make_unique<codegen::JitKernel>(
         ccode(), opts_.lang == ir::Lang::OpenMP && opts_.openmp);
     jit_compile_seconds_ = jit_->compile_seconds();
+    jit_cache_hit_ = jit_->cache_hit();
   }
   std::vector<float*> field_ptrs;
   field_ptrs.reserve(info_.field_order.size());

@@ -60,8 +60,12 @@ class Operator {
 
   /// Statistics of the halo-exchange runtime (zeros for serial grids).
   runtime::HaloStats halo_stats() const;
-  /// External-compiler wall time of the last JIT build (0 if none).
+  /// External-compiler wall time of the last JIT build (0 if none, or
+  /// if the build was served from the compile cache).
   double jit_compile_seconds() const { return jit_compile_seconds_; }
+  /// Whether the last JIT build was a compile-cache hit (false if the
+  /// operator has not been JIT-compiled yet).
+  bool jit_cache_hit() const { return jit_cache_hit_; }
   /// Grid points updated by the last apply() (points * steps), the
   /// numerator of the paper's GPts/s metric.
   std::int64_t points_updated() const { return points_updated_; }
@@ -82,6 +86,7 @@ class Operator {
   std::string ccode_;
   std::unique_ptr<codegen::JitKernel> jit_;
   double jit_compile_seconds_ = 0.0;
+  bool jit_cache_hit_ = false;
   std::int64_t points_updated_ = 0;
 };
 

@@ -100,13 +100,76 @@ BoxPair make_boxes(const grid::Function& fn, const std::vector<int>& w,
 
 }  // namespace
 
+RowPlan make_row_plan(const grid::Function& fn,
+                      const HaloExchange::Box& box) {
+  RowPlan plan;
+  const std::size_t nd = box.lo.size();
+  if (nd == 0) {
+    return plan;
+  }
+  std::vector<std::int64_t> strides(nd, 1);
+  for (std::size_t d = nd - 1; d-- > 0;) {
+    strides[d] = strides[d + 1] * fn.padded_shape()[d + 1];
+  }
+  plan.row = box.hi[nd - 1] - box.lo[nd - 1];
+  if (plan.row <= 0) {
+    plan.row = 0;
+    return plan;
+  }
+  std::int64_t rows = 1;
+  for (std::size_t d = 0; d + 1 < nd; ++d) {
+    if (box.hi[d] <= box.lo[d]) {
+      return plan;
+    }
+    rows *= box.hi[d] - box.lo[d];
+  }
+  plan.offsets.reserve(static_cast<std::size_t>(rows));
+  std::vector<std::int64_t> idx(box.lo.begin(), box.lo.end());
+  for (std::int64_t r = 0; r < rows; ++r) {
+    std::int64_t off = 0;
+    for (std::size_t d = 0; d < nd; ++d) {
+      off += idx[d] * strides[d];
+    }
+    plan.offsets.push_back(off);
+    for (std::size_t d = nd - 1; d-- > 0;) {
+      if (++idx[d] < box.hi[d]) {
+        break;
+      }
+      idx[d] = box.lo[d];
+    }
+  }
+  return plan;
+}
+
+void pack_box(const grid::Function& fn, int buf_idx,
+              const HaloExchange::Box& box, float* out, bool parallel) {
+  const RowPlan plan = make_row_plan(fn, box);
+  copy_rows_gather(fn.buffer(buf_idx), plan, out, parallel);
+}
+
+void unpack_box(grid::Function& fn, int buf_idx,
+                const HaloExchange::Box& box, const float* in,
+                bool parallel) {
+  const RowPlan plan = make_row_plan(fn, box);
+  copy_rows_scatter(fn.buffer(buf_idx), plan, in, parallel);
+}
+
+namespace {
+
+bool parallel_worthwhile(const RowPlan& plan) {
+  return plan.total() * static_cast<std::int64_t>(sizeof(float)) >=
+         kParallelCopyBytes;
+}
+
+}  // namespace
+
 int HaloExchange::register_spot(const ir::SpotInfo& spot,
                                 const ir::FieldTable& fields) {
   if (static_cast<int>(spots_.size()) != spot.id) {
     throw std::logic_error("HaloExchange: spots must register in id order");
   }
   Spot s;
-  const bool prealloc =
+  const bool star =
       mode_ == ir::MpiMode::Diagonal || mode_ == ir::MpiMode::Full;
   for (std::size_t slot = 0; slot < spot.needs.size(); ++slot) {
     const ir::HaloNeed& need = spot.needs[slot];
@@ -114,9 +177,10 @@ int HaloExchange::register_spot(const ir::SpotInfo& spot,
     plan.fn = &fields.at(need.field_id);
     plan.time_offset = need.time_offset;
     plan.widths = need.widths;
-    if (prealloc && grid_->distributed()) {
+    if (grid_->distributed() && star) {
       // One plan per star-neighbourhood direction whose exchanged volume
-      // is nonzero; buffers preallocated here (Table I: "pre-alloc").
+      // is nonzero; buffers and row plans preallocated here (Table I:
+      // "pre-alloc").
       const std::vector<bool> no_extend(need.widths.size(), false);
       for (const auto& o : grid_->cart()->star_neighborhood()) {
         bool involved = false;
@@ -142,9 +206,52 @@ int HaloExchange::register_spot(const ir::SpotInfo& spot,
         // neighbour at `o`, which sent it along `-o` in its own frame.
         dp.recv_tag =
             make_tag(spot.id, static_cast<int>(slot), dir_index(negate(o)));
+        dp.send_plan = make_row_plan(*plan.fn, dp.send_box);
+        dp.recv_plan = make_row_plan(*plan.fn, dp.recv_box);
         dp.send_buf.resize(static_cast<std::size_t>(dp.send_box.count()));
         dp.recv_buf.resize(static_cast<std::size_t>(dp.recv_box.count()));
         plan.dirs.push_back(std::move(dp));
+      }
+    } else if (grid_->distributed()) {
+      // Basic (and the None fallback): one sweep per dimension, low/high
+      // face plans preallocated with the corner-propagation extension of
+      // the axes already swept — the seed allocated these on every
+      // update(); they are now fixed at registration.
+      const smpi::CartComm& cart = *grid_->cart();
+      const int nd = cart.ndims();
+      plan.sweeps.resize(static_cast<std::size_t>(nd));
+      for (int d = 0; d < nd; ++d) {
+        const auto ud = static_cast<std::size_t>(d);
+        if (plan.widths[ud] == 0 || cart.dims()[ud] == 1) {
+          continue;
+        }
+        std::vector<bool> extend(static_cast<std::size_t>(nd), false);
+        for (int q = 0; q < d; ++q) {
+          extend[static_cast<std::size_t>(q)] =
+              plan.widths[static_cast<std::size_t>(q)] > 0;
+        }
+        for (const int side : {-1, +1}) {
+          std::vector<int> o(static_cast<std::size_t>(nd), 0);
+          o[ud] = side;
+          const int nbr = cart.neighbor(o);
+          if (nbr == smpi::kProcNull) {
+            continue;
+          }
+          DirPlan dp;
+          dp.neighbor = nbr;
+          const BoxPair b = make_boxes(*plan.fn, plan.widths, o, extend);
+          dp.send_box = Box{b.slo, b.shi};
+          dp.recv_box = Box{b.rlo, b.rhi};
+          dp.send_tag =
+              make_tag(spot.id, static_cast<int>(slot), dir_index(o));
+          dp.recv_tag =
+              make_tag(spot.id, static_cast<int>(slot), dir_index(negate(o)));
+          dp.send_plan = make_row_plan(*plan.fn, dp.send_box);
+          dp.recv_plan = make_row_plan(*plan.fn, dp.recv_box);
+          dp.send_buf.resize(static_cast<std::size_t>(dp.send_box.count()));
+          dp.recv_buf.resize(static_cast<std::size_t>(dp.recv_box.count()));
+          plan.sweeps[ud].push_back(std::move(dp));
+        }
       }
     }
     s.fields.push_back(std::move(plan));
@@ -159,71 +266,15 @@ int HaloExchange::buffer_index(const grid::Function& fn, int time_offset,
   return fn.buffer_index(time_offset, time);
 }
 
-namespace {
-
-/// Visit every contiguous row (innermost-dimension run) of `box` within an
-/// array whose padded extents define the strides; `fn(offset, row_len)` is
-/// called once per row with the linear offset of its first element.
-template <typename RowFn>
-void for_each_row(const grid::Function& field, const HaloExchange::Box& box,
-                  RowFn&& fn) {
-  const std::size_t nd = box.lo.size();
-  std::vector<std::int64_t> strides(nd, 1);
-  for (std::size_t d = nd - 1; d-- > 0;) {
-    strides[d] = strides[d + 1] * field.padded_shape()[d + 1];
-  }
-  const std::int64_t row = box.hi[nd - 1] - box.lo[nd - 1];
-  if (row <= 0) {
-    return;
-  }
-  std::int64_t rows = 1;
-  for (std::size_t d = 0; d + 1 < nd; ++d) {
-    if (box.hi[d] <= box.lo[d]) {
-      return;
-    }
-    rows *= box.hi[d] - box.lo[d];
-  }
-  std::vector<std::int64_t> idx(box.lo.begin(), box.lo.end());
-  for (std::int64_t r = 0; r < rows; ++r) {
-    std::int64_t off = 0;
-    for (std::size_t d = 0; d < nd; ++d) {
-      off += idx[d] * strides[d];
-    }
-    fn(off, row);
-    for (std::size_t d = nd - 1; d-- > 0;) {
-      if (++idx[d] < box.hi[d]) {
-        break;
-      }
-      idx[d] = box.lo[d];
-    }
-  }
+void HaloExchange::pack(const grid::Function& fn, int buf_idx, DirPlan& dp) {
+  copy_rows_gather(fn.buffer(buf_idx), dp.send_plan, dp.send_buf.data(),
+                   parallel_worthwhile(dp.send_plan));
 }
 
-}  // namespace
-
-void HaloExchange::pack(const grid::Function& fn, int buf_idx, const Box& box,
-                        std::vector<float>& out) const {
-  out.resize(static_cast<std::size_t>(box.count()));
-  const float* base = fn.buffer(buf_idx);
-  std::size_t cursor = 0;
-  for_each_row(fn, box, [&](std::int64_t off, std::int64_t row) {
-    std::memcpy(out.data() + cursor, base + off,
-                static_cast<std::size_t>(row) * sizeof(float));
-    cursor += static_cast<std::size_t>(row);
-  });
-  assert(cursor == out.size());
-}
-
-void HaloExchange::unpack(grid::Function& fn, int buf_idx, const Box& box,
-                          const std::vector<float>& in) const {
-  float* base = fn.buffer(buf_idx);
-  std::size_t cursor = 0;
-  for_each_row(fn, box, [&](std::int64_t off, std::int64_t row) {
-    std::memcpy(base + off, in.data() + cursor,
-                static_cast<std::size_t>(row) * sizeof(float));
-    cursor += static_cast<std::size_t>(row);
-  });
-  assert(cursor == in.size());
+void HaloExchange::unpack(grid::Function& fn, int buf_idx,
+                          const DirPlan& dp) {
+  copy_rows_scatter(fn.buffer(buf_idx), dp.recv_plan, dp.recv_buf.data(),
+                    parallel_worthwhile(dp.recv_plan));
 }
 
 void HaloExchange::update(int spot, std::int64_t time) {
@@ -238,16 +289,17 @@ void HaloExchange::update(int spot, std::int64_t time) {
     complete_star(s, time);
   }
   ++stats_.updates;
+  sync_transport_stats();
 }
 
 void HaloExchange::update_basic(Spot& s, std::int64_t time) {
   const smpi::CartComm& cart = *grid_->cart();
   const smpi::Communicator& comm = cart.comm();
   const int nd = cart.ndims();
-  const int spot_id = static_cast<int>(&s - spots_.data());
 
-  // One sweep per dimension; dimensions already swept are extended so
-  // corner data propagates without explicit diagonal messages.
+  // One sweep per dimension; dimensions already swept were extended (at
+  // registration) so corner data propagates without explicit diagonal
+  // messages.
   for (int d = 0; d < nd; ++d) {
     for (std::size_t slot = 0; slot < s.fields.size(); ++slot) {
       FieldPlan& plan = s.fields[slot];
@@ -256,68 +308,33 @@ void HaloExchange::update_basic(Spot& s, std::int64_t time) {
         continue;
       }
       const int buf = buffer_index(*plan.fn, plan.time_offset, time);
-      std::vector<bool> extend(static_cast<std::size_t>(nd), false);
-      for (int q = 0; q < d; ++q) {
-        extend[static_cast<std::size_t>(q)] = plan.widths[static_cast<std::size_t>(q)] > 0;
-      }
-      // Buffers allocated at call time: the basic pattern's documented
-      // behaviour (Table I, "runtime (C/C++)" allocation).
-      std::vector<float> send_lo;
-      std::vector<float> send_hi;
-      std::vector<float> recv_lo;
-      std::vector<float> recv_hi;
-      std::vector<int> o(static_cast<std::size_t>(nd), 0);
+      std::vector<DirPlan>& faces = plan.sweeps[ud];
 
-      o[ud] = -1;
-      const BoxPair low = make_boxes(*plan.fn, plan.widths, o, extend);
-      const int low_nbr = cart.neighbor(o);
-      o[ud] = +1;
-      const BoxPair high = make_boxes(*plan.fn, plan.widths, o, extend);
-      const int high_nbr = cart.neighbor(o);
-
-      smpi::Request rx_lo;
-      smpi::Request rx_hi;
-      if (low_nbr != smpi::kProcNull) {
-        recv_lo.resize(static_cast<std::size_t>(Box{low.rlo, low.rhi}.count()));
-        o[ud] = -1;
-        rx_lo = comm.irecv(recv_lo.data(), recv_lo.size() * sizeof(float),
-                           low_nbr,
-                           make_tag(spot_id, static_cast<int>(slot),
-                                    dir_index(negate(o))));
+      for (DirPlan& dp : faces) {
+        s.pending.push_back(comm.irecv(dp.recv_buf.data(),
+                                       dp.recv_buf.size() * sizeof(float),
+                                       dp.neighbor, dp.recv_tag));
       }
-      if (high_nbr != smpi::kProcNull) {
-        recv_hi.resize(
-            static_cast<std::size_t>(Box{high.rlo, high.rhi}.count()));
-        o[ud] = +1;
-        rx_hi = comm.irecv(recv_hi.data(), recv_hi.size() * sizeof(float),
-                           high_nbr,
-                           make_tag(spot_id, static_cast<int>(slot),
-                                    dir_index(negate(o))));
+      if (post_fence_) {
+        // All ranks reach this barrier for the same (axis, slot)
+        // iteration (the skip conditions above are rank-independent), so
+        // every send below finds its receive posted: rendezvous
+        // guaranteed.
+        comm.barrier();
       }
-      if (low_nbr != smpi::kProcNull) {
-        pack(*plan.fn, buf, Box{low.slo, low.shi}, send_lo);
-        o[ud] = -1;
-        comm.send(send_lo.data(), send_lo.size() * sizeof(float), low_nbr,
-                  make_tag(spot_id, static_cast<int>(slot), dir_index(o)));
+      for (DirPlan& dp : faces) {
+        pack(*plan.fn, buf, dp);
+        comm.send(dp.send_buf.data(), dp.send_buf.size() * sizeof(float),
+                  dp.neighbor, dp.send_tag);
         ++stats_.messages;
-        stats_.bytes_sent += send_lo.size() * sizeof(float);
+        stats_.bytes_sent += dp.send_buf.size() * sizeof(float);
       }
-      if (high_nbr != smpi::kProcNull) {
-        pack(*plan.fn, buf, Box{high.slo, high.shi}, send_hi);
-        o[ud] = +1;
-        comm.send(send_hi.data(), send_hi.size() * sizeof(float), high_nbr,
-                  make_tag(spot_id, static_cast<int>(slot), dir_index(o)));
-        ++stats_.messages;
-        stats_.bytes_sent += send_hi.size() * sizeof(float);
+      for (std::size_t i = 0; i < faces.size(); ++i) {
+        const smpi::Status st = s.pending[i].wait();
+        stats_.bytes_received += st.bytes;
+        unpack(*plan.fn, buf, faces[i]);
       }
-      if (!rx_lo.is_null()) {
-        rx_lo.wait();
-        unpack(*plan.fn, buf, Box{low.rlo, low.rhi}, recv_lo);
-      }
-      if (!rx_hi.is_null()) {
-        rx_hi.wait();
-        unpack(*plan.fn, buf, Box{high.rlo, high.rhi}, recv_hi);
-      }
+      s.pending.clear();
     }
   }
 }
@@ -326,15 +343,20 @@ void HaloExchange::post_star(Spot& s, std::int64_t time) {
   const smpi::Communicator& comm = grid_->cart()->comm();
   assert(!s.in_flight);
   for (FieldPlan& plan : s.fields) {
-    const int buf = buffer_index(*plan.fn, plan.time_offset, time);
     // Post all receives first, then pack+send — the single-step schedule.
     for (DirPlan& dp : plan.dirs) {
       s.pending.push_back(comm.irecv(dp.recv_buf.data(),
                                      dp.recv_buf.size() * sizeof(float),
                                      dp.neighbor, dp.recv_tag));
     }
+  }
+  if (post_fence_) {
+    comm.barrier();
+  }
+  for (FieldPlan& plan : s.fields) {
+    const int buf = buffer_index(*plan.fn, plan.time_offset, time);
     for (DirPlan& dp : plan.dirs) {
-      pack(*plan.fn, buf, dp.send_box, dp.send_buf);
+      pack(*plan.fn, buf, dp);
       comm.send(dp.send_buf.data(), dp.send_buf.size() * sizeof(float),
                 dp.neighbor, dp.send_tag);
       ++stats_.messages;
@@ -347,13 +369,14 @@ void HaloExchange::post_star(Spot& s, std::int64_t time) {
 
 void HaloExchange::complete_star(Spot& s, std::int64_t time) {
   for (smpi::Request& r : s.pending) {
-    r.wait();
+    const smpi::Status st = r.wait();
+    stats_.bytes_received += st.bytes;
   }
   s.pending.clear();
   for (FieldPlan& plan : s.fields) {
     const int buf = buffer_index(*plan.fn, plan.time_offset, time);
     for (DirPlan& dp : plan.dirs) {
-      unpack(*plan.fn, buf, dp.recv_box, dp.recv_buf);
+      unpack(*plan.fn, buf, dp);
     }
   }
   s.in_flight = false;
@@ -365,6 +388,7 @@ void HaloExchange::start(int spot, std::int64_t time) {
   }
   post_star(spots_.at(static_cast<std::size_t>(spot)), time);
   ++stats_.starts;
+  sync_transport_stats();
 }
 
 void HaloExchange::wait(int spot) {
@@ -376,6 +400,7 @@ void HaloExchange::wait(int spot) {
     return;
   }
   complete_star(s, inflight_time_[static_cast<std::size_t>(spot)]);
+  sync_transport_stats();
 }
 
 void HaloExchange::progress() {
@@ -385,6 +410,14 @@ void HaloExchange::progress() {
       (void)r.test();
     }
   }
+}
+
+void HaloExchange::sync_transport_stats() {
+  const smpi::World& world = grid_->cart()->comm().world();
+  const smpi::BufferPool::Stats pool = world.pool().stats();
+  stats_.pool_hits = pool.hits;
+  stats_.pool_misses = pool.misses;
+  stats_.copies_per_message = world.transport().copies_per_message();
 }
 
 }  // namespace jitfd::runtime

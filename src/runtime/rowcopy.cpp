@@ -1,0 +1,280 @@
+#include "runtime/rowcopy.h"
+
+#include <cstring>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define JITFD_ROWCOPY_X86 1
+#include <immintrin.h>
+#endif
+
+namespace jitfd::runtime {
+
+namespace {
+
+using GatherFn = void (*)(const float*, const std::int64_t*, std::int64_t,
+                          std::int64_t, float*);
+using ScatterFn = void (*)(float*, const std::int64_t*, std::int64_t,
+                           std::int64_t, const float*);
+
+// --- Thin rows: compile-time length, copies inline to a couple of moves --
+
+template <int N>
+void gather_fixed(const float* base, const std::int64_t* offs, std::int64_t n,
+                  std::int64_t /*row*/, float* dst) {
+  for (std::int64_t r = 0; r < n; ++r) {
+    std::memcpy(dst, base + offs[r], N * sizeof(float));
+    dst += N;
+  }
+}
+
+template <int N>
+void scatter_fixed(float* base, const std::int64_t* offs, std::int64_t n,
+                   std::int64_t /*row*/, const float* src) {
+  for (std::int64_t r = 0; r < n; ++r) {
+    std::memcpy(base + offs[r], src, N * sizeof(float));
+    src += N;
+  }
+}
+
+// --- Generic fallback ----------------------------------------------------
+
+void gather_memcpy(const float* base, const std::int64_t* offs,
+                   std::int64_t n, std::int64_t row, float* dst) {
+  const std::size_t bytes = static_cast<std::size_t>(row) * sizeof(float);
+  for (std::int64_t r = 0; r < n; ++r) {
+    std::memcpy(dst, base + offs[r], bytes);
+    dst += row;
+  }
+}
+
+void scatter_memcpy(float* base, const std::int64_t* offs, std::int64_t n,
+                    std::int64_t row, const float* src) {
+  const std::size_t bytes = static_cast<std::size_t>(row) * sizeof(float);
+  for (std::int64_t r = 0; r < n; ++r) {
+    std::memcpy(base + offs[r], src, bytes);
+    src += row;
+  }
+}
+
+// --- Long rows: explicit vector loops (x86) ------------------------------
+//
+// libc memcpy pays size dispatch and alignment probing on every call; at
+// the 0.5-2 KiB rows of halo faces a plain unrolled unaligned vector loop
+// is ~1.5x faster and identical in semantics.
+
+#ifdef JITFD_ROWCOPY_X86
+
+__attribute__((target("avx512f"))) void gather_long_avx512(
+    const float* base, const std::int64_t* offs, std::int64_t n,
+    std::int64_t row, float* dst) {
+  const std::int64_t vec = row & ~std::int64_t{15};
+  const __mmask16 tail =
+      static_cast<__mmask16>((1U << (row - vec)) - 1U);
+  for (std::int64_t r = 0; r < n; ++r) {
+    const float* src = base + offs[r];
+    std::int64_t k = 0;
+    for (; k < vec; k += 16) {
+      _mm512_storeu_ps(dst + k, _mm512_loadu_ps(src + k));
+    }
+    if (tail != 0) {
+      _mm512_mask_storeu_ps(dst + k, tail,
+                            _mm512_maskz_loadu_ps(tail, src + k));
+    }
+    dst += row;
+  }
+}
+
+__attribute__((target("avx512f"))) void scatter_long_avx512(
+    float* base, const std::int64_t* offs, std::int64_t n, std::int64_t row,
+    const float* src) {
+  const std::int64_t vec = row & ~std::int64_t{15};
+  const __mmask16 tail =
+      static_cast<__mmask16>((1U << (row - vec)) - 1U);
+  for (std::int64_t r = 0; r < n; ++r) {
+    float* dst = base + offs[r];
+    std::int64_t k = 0;
+    for (; k < vec; k += 16) {
+      _mm512_storeu_ps(dst + k, _mm512_loadu_ps(src + k));
+    }
+    if (tail != 0) {
+      _mm512_mask_storeu_ps(dst + k, tail,
+                            _mm512_maskz_loadu_ps(tail, src + k));
+    }
+    src += row;
+  }
+}
+
+__attribute__((target("avx2"))) void gather_long_avx2(
+    const float* base, const std::int64_t* offs, std::int64_t n,
+    std::int64_t row, float* dst) {
+  const std::int64_t vec = row & ~std::int64_t{7};
+  for (std::int64_t r = 0; r < n; ++r) {
+    const float* src = base + offs[r];
+    std::int64_t k = 0;
+    for (; k < vec; k += 8) {
+      _mm256_storeu_ps(dst + k, _mm256_loadu_ps(src + k));
+    }
+    if (k < row) {
+      std::memcpy(dst + k, src + k,
+                  static_cast<std::size_t>(row - k) * sizeof(float));
+    }
+    dst += row;
+  }
+}
+
+__attribute__((target("avx2"))) void scatter_long_avx2(
+    float* base, const std::int64_t* offs, std::int64_t n, std::int64_t row,
+    const float* src) {
+  const std::int64_t vec = row & ~std::int64_t{7};
+  for (std::int64_t r = 0; r < n; ++r) {
+    float* dst = base + offs[r];
+    std::int64_t k = 0;
+    for (; k < vec; k += 8) {
+      _mm256_storeu_ps(dst + k, _mm256_loadu_ps(src + k));
+    }
+    if (k < row) {
+      std::memcpy(dst + k, src + k,
+                  static_cast<std::size_t>(row - k) * sizeof(float));
+    }
+    src += row;
+  }
+}
+
+enum class Isa { Generic, Avx2, Avx512 };
+
+Isa detect_isa() {
+  if (__builtin_cpu_supports("avx512f")) {
+    return Isa::Avx512;
+  }
+  if (__builtin_cpu_supports("avx2")) {
+    return Isa::Avx2;
+  }
+  return Isa::Generic;
+}
+
+Isa host_isa() {
+  static const Isa isa = detect_isa();
+  return isa;
+}
+
+#endif  // JITFD_ROWCOPY_X86
+
+// --- Dispatch ------------------------------------------------------------
+
+GatherFn pick_gather(std::int64_t row) {
+  switch (row) {
+    case 1: return gather_fixed<1>;
+    case 2: return gather_fixed<2>;
+    case 3: return gather_fixed<3>;
+    case 4: return gather_fixed<4>;
+    case 5: return gather_fixed<5>;
+    case 6: return gather_fixed<6>;
+    case 7: return gather_fixed<7>;
+    case 8: return gather_fixed<8>;
+    case 12: return gather_fixed<12>;
+    case 16: return gather_fixed<16>;
+    default: break;
+  }
+#ifdef JITFD_ROWCOPY_X86
+  if (row >= 16) {
+    switch (host_isa()) {
+      case Isa::Avx512: return gather_long_avx512;
+      case Isa::Avx2: return gather_long_avx2;
+      case Isa::Generic: break;
+    }
+  }
+#endif
+  return gather_memcpy;
+}
+
+ScatterFn pick_scatter(std::int64_t row) {
+  switch (row) {
+    case 1: return scatter_fixed<1>;
+    case 2: return scatter_fixed<2>;
+    case 3: return scatter_fixed<3>;
+    case 4: return scatter_fixed<4>;
+    case 5: return scatter_fixed<5>;
+    case 6: return scatter_fixed<6>;
+    case 7: return scatter_fixed<7>;
+    case 8: return scatter_fixed<8>;
+    case 12: return scatter_fixed<12>;
+    case 16: return scatter_fixed<16>;
+    default: break;
+  }
+#ifdef JITFD_ROWCOPY_X86
+  if (row >= 16) {
+    switch (host_isa()) {
+      case Isa::Avx512: return scatter_long_avx512;
+      case Isa::Avx2: return scatter_long_avx2;
+      case Isa::Generic: break;
+    }
+  }
+#endif
+  return scatter_memcpy;
+}
+
+}  // namespace
+
+void copy_rows_gather(const float* base, const RowPlan& plan, float* dst,
+                      bool parallel) {
+  const std::int64_t n = static_cast<std::int64_t>(plan.offsets.size());
+  if (n == 0 || plan.row <= 0) {
+    return;
+  }
+  const GatherFn fn = pick_gather(plan.row);
+  const std::int64_t* offs = plan.offsets.data();
+#if defined(_OPENMP) && !defined(__SANITIZE_THREAD__)
+  if (parallel) {
+    const std::int64_t row = plan.row;
+#pragma omp parallel
+    {
+      const std::int64_t nt = omp_get_num_threads();
+      const std::int64_t chunk = (n + nt - 1) / nt;
+      const std::int64_t lo = omp_get_thread_num() * chunk;
+      const std::int64_t hi = lo + chunk < n ? lo + chunk : n;
+      if (lo < hi) {
+        fn(base, offs + lo, hi - lo, row, dst + lo * row);
+      }
+    }
+    return;
+  }
+#else
+  (void)parallel;
+#endif
+  fn(base, offs, n, plan.row, dst);
+}
+
+void copy_rows_scatter(float* base, const RowPlan& plan, const float* src,
+                       bool parallel) {
+  const std::int64_t n = static_cast<std::int64_t>(plan.offsets.size());
+  if (n == 0 || plan.row <= 0) {
+    return;
+  }
+  const ScatterFn fn = pick_scatter(plan.row);
+  const std::int64_t* offs = plan.offsets.data();
+#if defined(_OPENMP) && !defined(__SANITIZE_THREAD__)
+  if (parallel) {
+    const std::int64_t row = plan.row;
+#pragma omp parallel
+    {
+      const std::int64_t nt = omp_get_num_threads();
+      const std::int64_t chunk = (n + nt - 1) / nt;
+      const std::int64_t lo = omp_get_thread_num() * chunk;
+      const std::int64_t hi = lo + chunk < n ? lo + chunk : n;
+      if (lo < hi) {
+        fn(base, offs + lo, hi - lo, row, src + lo * row);
+      }
+    }
+    return;
+  }
+#else
+  (void)parallel;
+#endif
+  fn(base, offs, n, plan.row, src);
+}
+
+}  // namespace jitfd::runtime

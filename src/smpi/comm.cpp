@@ -23,7 +23,7 @@ World::World(int nranks) {
   }
   mailboxes_.reserve(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) {
-    mailboxes_.push_back(std::make_unique<Mailbox>());
+    mailboxes_.push_back(std::make_unique<Mailbox>(&pool_, &transport_));
   }
 }
 
@@ -43,16 +43,8 @@ namespace {
 
 void deliver_bytes(World& world, int from, int dest, int tag, Channel channel,
                    const void* buf, std::size_t bytes) {
-  Message msg;
-  msg.source = from;
-  msg.tag = tag;
-  msg.channel = channel;
-  msg.payload.resize(bytes);
-  if (bytes > 0) {
-    std::memcpy(msg.payload.data(), buf, bytes);
-  }
   world.count_message();
-  world.mailbox(dest).deliver(std::move(msg));
+  world.mailbox(dest).deliver(from, tag, channel, buf, bytes);
 }
 
 std::shared_ptr<OpState> post_recv_bytes(World& world, int me, void* buf,

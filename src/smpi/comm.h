@@ -55,7 +55,16 @@ class World {
   std::uint64_t message_count() const { return messages_.load(); }
   void count_message() { messages_.fetch_add(1, std::memory_order_relaxed); }
 
+  /// The shared unexpected-message payload pool (stats / tests).
+  BufferPool& pool() { return pool_; }
+  const BufferPool& pool() const { return pool_; }
+
+  /// Rendezvous-vs-queued delivery counters (stats / tests).
+  const TransportCounters& transport() const { return transport_; }
+
  private:
+  BufferPool pool_;
+  TransportCounters transport_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::mutex barrier_mtx_;
   std::condition_variable barrier_cv_;

@@ -5,6 +5,12 @@
 // follows MPI semantics: a posted receive matches the earliest pending
 // message whose (source, tag, channel) is compatible, and pending messages
 // are matched in arrival order per (source, tag) pair (non-overtaking).
+//
+// Delivery is single-copy whenever a matching receive is already posted:
+// the sender's span is copied straight into the posted buffer (rendezvous)
+// with no intermediate payload. Only unexpected messages materialize a
+// payload, drawn from the World's BufferPool and returned to it when the
+// message is eventually matched.
 #pragma once
 
 #include <condition_variable>
@@ -13,8 +19,8 @@
 #include <deque>
 #include <memory>
 #include <mutex>
-#include <vector>
 
+#include "smpi/pool.h"
 #include "smpi/types.h"
 
 namespace smpi {
@@ -58,22 +64,31 @@ struct OpState {
   }
 };
 
-/// One in-flight message (payload owned by the mailbox until matched).
+/// One queued (unexpected) message; the pooled payload is owned by the
+/// mailbox until matched, then returned to the pool.
 struct Message {
   int source = 0;
   int tag = 0;
   Channel channel = Channel::User;
-  std::vector<std::byte> payload;
+  PoolBuffer payload;
 };
 
 /// Mailbox: the unexpected-message queue plus the posted-receive queue of
 /// one rank, guarded by a single mutex. Senders and the owning receiver
-/// thread are the only parties that touch it.
+/// thread are the only parties that touch it. `pool` and `counters` are
+/// owned by the World and shared across all of its mailboxes.
 class Mailbox {
  public:
-  /// Deliver a message; matches a posted receive if one is compatible,
-  /// otherwise appends to the unexpected queue. Called from sender threads.
-  void deliver(Message&& msg);
+  Mailbox(BufferPool* pool, TransportCounters* counters)
+      : pool_(pool), counters_(counters) {}
+
+  /// Deliver `bytes` from `data`; copies directly into a posted receive
+  /// buffer if one is compatible (single-copy rendezvous), otherwise
+  /// copies into a pooled payload on the unexpected queue. Called from
+  /// sender threads; `data` need only stay valid for the duration of the
+  /// call (buffered-send semantics).
+  void deliver(int source, int tag, Channel channel, const void* data,
+               std::size_t bytes);
 
   /// Post a receive. If a pending message already matches, the OpState is
   /// completed before returning. The descriptor fields of `op` must be
@@ -84,8 +99,10 @@ class Mailbox {
   std::size_t pending_messages() const;
 
  private:
-  static bool matches(const OpState& op, const Message& msg);
+  static bool matches(const OpState& op, int source, int tag, Channel channel);
 
+  BufferPool* pool_;
+  TransportCounters* counters_;
   mutable std::mutex mtx_;
   std::deque<Message> unexpected_;
   std::deque<std::shared_ptr<OpState>> posted_;

@@ -1,0 +1,77 @@
+#include "smpi/pool.h"
+
+#include <bit>
+
+namespace smpi {
+
+std::size_t BufferPool::bucket_of(std::size_t bytes) {
+  const std::size_t min = bucket_bytes(0);
+  if (bytes <= min) {
+    return 0;
+  }
+  return static_cast<std::size_t>(std::bit_width(bytes - 1)) - kMinShift;
+}
+
+PoolBuffer BufferPool::acquire(std::size_t bytes) {
+  const std::size_t b = bucket_of(bytes);
+  if (b < kBuckets) {
+    const std::lock_guard<std::mutex> lock(mtx_);
+    auto& bucket = buckets_[b];
+    if (!bucket.empty()) {
+      PoolBuffer buf = std::move(bucket.back());
+      bucket.pop_back();
+      buf.size = bytes;
+      ++hits_;
+      return buf;
+    }
+    ++misses_;
+  } else {
+    const std::lock_guard<std::mutex> lock(mtx_);
+    ++misses_;
+  }
+  PoolBuffer buf;
+  buf.capacity = b < kBuckets ? bucket_bytes(b) : bytes;
+  // Plain new[]: deliberately uninitialized, the payload copy overwrites
+  // exactly `size` bytes.
+  buf.data = std::unique_ptr<std::byte[]>(new std::byte[buf.capacity]);
+  buf.size = bytes;
+  return buf;
+}
+
+void BufferPool::release(PoolBuffer&& buf) {
+  if (!buf) {
+    return;
+  }
+  const std::size_t b = bucket_of(buf.capacity);
+  const std::lock_guard<std::mutex> lock(mtx_);
+  ++releases_;
+  if (b < kBuckets && bucket_bytes(b) == buf.capacity &&
+      buckets_[b].size() < kMaxPerBucket) {
+    buckets_[b].push_back(std::move(buf));
+  }
+  // else: odd capacity or full bucket — drop, unique_ptr frees it.
+}
+
+void BufferPool::trim() {
+  const std::lock_guard<std::mutex> lock(mtx_);
+  for (auto& bucket : buckets_) {
+    bucket.clear();
+  }
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  const std::lock_guard<std::mutex> lock(mtx_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.releases = releases_;
+  for (const auto& bucket : buckets_) {
+    s.pooled_buffers += bucket.size();
+    for (const PoolBuffer& buf : bucket) {
+      s.pooled_bytes += buf.capacity;
+    }
+  }
+  return s;
+}
+
+}  // namespace smpi

@@ -1,0 +1,72 @@
+// Size-bucketed message-buffer pool.
+//
+// Payloads of unexpected messages (deliveries with no matching posted
+// receive) are the only allocations left on the SMPI hot path. The pool
+// recycles them: buffers are grouped by power-of-two capacity buckets, so
+// after one warmup exchange a steady-state stepping loop allocates
+// nothing. One pool is shared per World (all ranks), guarded by its own
+// mutex; the lock is never held while user data is being copied.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace smpi {
+
+/// A pooled byte buffer: uninitialized storage with an explicit logical
+/// size. Unlike std::vector, shrinking/growing within `capacity` never
+/// memsets, so recycling a buffer costs zero byte traffic.
+struct PoolBuffer {
+  std::unique_ptr<std::byte[]> data;
+  std::size_t capacity = 0;
+  std::size_t size = 0;
+
+  explicit operator bool() const { return data != nullptr; }
+};
+
+class BufferPool {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;      ///< acquire() served from a bucket.
+    std::uint64_t misses = 0;    ///< acquire() had to allocate.
+    std::uint64_t releases = 0;  ///< Buffers returned (pooled or dropped).
+    std::uint64_t pooled_buffers = 0;  ///< Currently idle in buckets.
+    std::uint64_t pooled_bytes = 0;    ///< Capacity held by idle buffers.
+  };
+
+  /// A buffer with capacity >= bytes and size == bytes; contents are
+  /// uninitialized. Zero-byte requests still round-trip through the
+  /// smallest bucket so hit/miss accounting stays uniform.
+  PoolBuffer acquire(std::size_t bytes);
+
+  /// Return a buffer for reuse. Buckets are bounded (kMaxPerBucket);
+  /// overflow buffers are simply freed.
+  void release(PoolBuffer&& buf);
+
+  /// Free every idle pooled buffer (diagnostics / memory pressure).
+  void trim();
+
+  Stats stats() const;
+
+ private:
+  // Capacities are 2^b for b in [kMinShift, kMinShift + kBuckets); larger
+  // requests are allocated exactly and never pooled.
+  static constexpr std::size_t kMinShift = 6;  // 64-byte minimum bucket.
+  static constexpr std::size_t kBuckets = 26;  // Up to 2 GiB messages.
+  static constexpr std::size_t kMaxPerBucket = 64;
+
+  static std::size_t bucket_of(std::size_t bytes);
+  static std::size_t bucket_bytes(std::size_t b) { return 1ULL << (kMinShift + b); }
+
+  mutable std::mutex mtx_;
+  std::array<std::vector<PoolBuffer>, kBuckets> buckets_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t releases_ = 0;
+};
+
+}  // namespace smpi

@@ -8,6 +8,7 @@
 // MPI's buffered-send semantics.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 
@@ -40,6 +41,28 @@ struct Status {
   int source = kAnySource;
   int tag = kAnyTag;
   std::size_t bytes = 0;
+};
+
+/// Transport-level delivery counters, shared by every mailbox of a World.
+/// `rendezvous` deliveries copy the sender's span straight into a posted
+/// receive buffer (one payload copy); `queued` deliveries materialize a
+/// pooled payload first and pay a second copy when later matched, so
+/// payload_copies / (rendezvous + queued) is the mean copies per message
+/// — exactly 1.0 when every receive is pre-posted.
+struct TransportCounters {
+  std::atomic<std::uint64_t> rendezvous{0};
+  std::atomic<std::uint64_t> queued{0};
+  std::atomic<std::uint64_t> payload_copies{0};
+  std::atomic<std::uint64_t> bytes_delivered{0};
+
+  double copies_per_message() const {
+    const std::uint64_t n = rendezvous.load(std::memory_order_relaxed) +
+                            queued.load(std::memory_order_relaxed);
+    return n == 0 ? 0.0
+                  : static_cast<double>(
+                        payload_copies.load(std::memory_order_relaxed)) /
+                        static_cast<double>(n);
+  }
 };
 
 }  // namespace smpi

@@ -3,7 +3,12 @@
 // functional equivalence.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
 #include <cstdlib>
+#include <sstream>
 
 #include "codegen/jit.h"
 #include "core/operator.h"
@@ -138,7 +143,9 @@ TEST(CodegenJit, JitMatchesInterpreterOnDiffusion) {
     op.set_backend(backend);
     op.apply(0, 4, {{"dt", dt}});
     if (backend == Operator::Backend::Jit) {
-      EXPECT_GT(op.jit_compile_seconds(), 0.0);
+      // Either a fresh external-compiler build took measurable time, or
+      // the identical source was already in the compile cache.
+      EXPECT_TRUE(op.jit_cache_hit() || op.jit_compile_seconds() > 0.0);
     }
     return u.gather(5 % 2);
   };
@@ -335,6 +342,60 @@ TEST(CodegenJit, CompileFailureSurfacesDiagnostics) {
   }
   EXPECT_THROW(jitfd::codegen::JitKernel("this is not C;", false),
                std::runtime_error);
+}
+
+TEST(CodegenJit, CompileCacheServesRepeatBuilds) {
+  if (!have_cc()) {
+    GTEST_SKIP() << "no C compiler available";
+  }
+  // Salt the source so the first build is a guaranteed miss even against
+  // a persistent $JITFD_CACHE_DIR left over from earlier runs.
+  std::ostringstream src;
+  src << "int kernel(float** f, const double* s, long m, long M, void* c,\n"
+         "           const void* o) {\n"
+         "  (void)f; (void)s; (void)m; (void)M; (void)c; (void)o;\n"
+         "  return 7;\n"
+         "}\n/* salt "
+      << ::getpid() << '.'
+      << std::chrono::system_clock::now().time_since_epoch().count()
+      << " */\n";
+
+  const std::uint64_t hits_before = jitfd::codegen::JitKernel::cache_hits();
+  jitfd::codegen::JitKernel first(src.str(), false);
+  EXPECT_FALSE(first.cache_hit());
+  EXPECT_GT(first.compile_seconds(), 0.0);
+
+  jitfd::codegen::JitKernel second(src.str(), false);
+  EXPECT_TRUE(second.cache_hit());
+  EXPECT_EQ(second.compile_seconds(), 0.0);
+  EXPECT_GE(jitfd::codegen::JitKernel::cache_hits(), hits_before + 1);
+
+  // The cached object is the same loadable kernel.
+  EXPECT_EQ(second.run(nullptr, nullptr, 0, 0, nullptr, nullptr), 7);
+}
+
+TEST(CodegenJit, IdenticalOperatorsShareOneCompile) {
+  if (!have_cc()) {
+    GTEST_SKIP() << "no C compiler available";
+  }
+  const std::uint64_t misses_before =
+      jitfd::codegen::JitKernel::cache_misses();
+  auto build_and_run = [] {
+    const Grid g({10, 10}, {1.0, 1.0});
+    TimeFunction u("u", g, 2, 1);
+    const std::vector<std::int64_t> lo{3, 3};
+    const std::vector<std::int64_t> hi{7, 7};
+    u.fill_global_box(0, lo, hi, 1.0F);
+    Operator op = diffusion_operator(g, u);
+    op.set_backend(Operator::Backend::Jit);
+    op.apply(0, 2, {{"dt", 1e-3}});
+    return op.jit_cache_hit();
+  };
+  build_and_run();
+  const bool second_hit = build_and_run();
+  EXPECT_TRUE(second_hit);
+  // At most one external-compiler invocation for the pair.
+  EXPECT_LE(jitfd::codegen::JitKernel::cache_misses(), misses_before + 1);
 }
 
 }  // namespace

@@ -11,6 +11,8 @@
 #include <map>
 #include <random>
 
+#include "grid/function.h"
+#include "runtime/halo.h"
 #include "smpi/runtime.h"
 #include "symbolic/cse.h"
 #include "symbolic/expr.h"
@@ -162,6 +164,131 @@ TEST(ExprProperties, FlopReductionNeverIncreasesCost) {
       total += sym::count_flops(t.value);
     }
     EXPECT_LE(total, sym::count_flops(e)) << e.to_string();
+  }
+}
+
+TEST(PackUnpackProperties, RoundTripOverRandomStridedBoxes) {
+  // pack_box followed by unpack_box over an arbitrary axis-aligned box of
+  // the padded storage must (a) pack exactly the box elements in
+  // row-major order, (b) restore them bit-exactly, (c) write nothing
+  // outside the box, and (d) produce identical results on the serial and
+  // threaded paths. Boxes are randomized over 1/2/3-D geometries and
+  // forced through the degenerate shapes the halo patterns produce:
+  // 1-wide rows (strided remainder faces) and full faces.
+  using jitfd::grid::Function;
+  using jitfd::grid::Grid;
+  using Box = jitfd::runtime::HaloExchange::Box;
+
+  std::mt19937 rng(20260806);
+  for (int trial = 0; trial < 150; ++trial) {
+    const int nd = 1 + trial % 3;
+    std::vector<std::int64_t> shape;
+    std::vector<double> spacing;
+    std::uniform_int_distribution<int> extent(4, 12);
+    for (int d = 0; d < nd; ++d) {
+      shape.push_back(extent(rng));
+      spacing.push_back(1.0);
+    }
+    const Grid g(shape, spacing);
+    Function f("f", g, 4);
+    const auto& P = f.padded_shape();
+    std::int64_t total = 1;
+    for (const std::int64_t p : P) {
+      total *= p;
+    }
+    // Unique value per cell, ghosts included.
+    float* base = f.buffer(0);
+    for (std::int64_t i = 0; i < total; ++i) {
+      base[i] = static_cast<float>(i) + 1.0F;
+    }
+
+    // Random box in raw (ghost-inclusive) coordinates; every few trials
+    // force a degenerate shape.
+    Box box;
+    box.lo.resize(static_cast<std::size_t>(nd));
+    box.hi.resize(static_cast<std::size_t>(nd));
+    for (int d = 0; d < nd; ++d) {
+      const auto ud = static_cast<std::size_t>(d);
+      if (trial % 5 == 3) {  // Full face along every dimension.
+        box.lo[ud] = 0;
+        box.hi[ud] = P[ud];
+      } else if (trial % 5 == 4) {  // 1-wide in every dimension.
+        std::uniform_int_distribution<std::int64_t> at(0, P[ud] - 1);
+        box.lo[ud] = at(rng);
+        box.hi[ud] = box.lo[ud] + 1;
+      } else {
+        std::uniform_int_distribution<std::int64_t> lo(0, P[ud] - 1);
+        box.lo[ud] = lo(rng);
+        std::uniform_int_distribution<std::int64_t> hi(box.lo[ud] + 1, P[ud]);
+        box.hi[ud] = hi(rng);
+      }
+    }
+
+    // Reference: row-major enumeration of the box.
+    std::vector<float> expected;
+    expected.reserve(static_cast<std::size_t>(box.count()));
+    std::vector<std::int64_t> idx(box.lo.begin(), box.lo.end());
+    std::vector<std::int64_t> strides(static_cast<std::size_t>(nd), 1);
+    for (int d = nd - 2; d >= 0; --d) {
+      strides[static_cast<std::size_t>(d)] =
+          strides[static_cast<std::size_t>(d + 1)] *
+          P[static_cast<std::size_t>(d + 1)];
+    }
+    while (true) {
+      std::int64_t off = 0;
+      for (int d = 0; d < nd; ++d) {
+        off += idx[static_cast<std::size_t>(d)] *
+               strides[static_cast<std::size_t>(d)];
+      }
+      expected.push_back(base[off]);
+      int d = nd - 1;
+      for (; d >= 0; --d) {
+        const auto ud = static_cast<std::size_t>(d);
+        if (++idx[ud] < box.hi[ud]) {
+          break;
+        }
+        idx[ud] = box.lo[ud];
+      }
+      if (d < 0) {
+        break;
+      }
+    }
+
+    std::vector<float> packed(expected.size(), -1.0F);
+    jitfd::runtime::pack_box(f, 0, box, packed.data(), /*parallel=*/false);
+    ASSERT_EQ(packed, expected) << "trial " << trial;
+
+    std::vector<float> packed_par(expected.size(), -2.0F);
+    jitfd::runtime::pack_box(f, 0, box, packed_par.data(), /*parallel=*/true);
+    ASSERT_EQ(packed_par, expected) << "threaded pack, trial " << trial;
+
+    // Unpack into a scrubbed copy: the box is restored, the rest is
+    // untouched.
+    std::vector<float> original(base, base + total);
+    for (std::int64_t i = 0; i < total; ++i) {
+      base[i] = -7.0F;
+    }
+    jitfd::runtime::unpack_box(f, 0, box, packed.data(), trial % 2 == 1);
+    std::size_t inside = 0;
+    std::vector<std::int64_t> probe(static_cast<std::size_t>(nd), 0);
+    for (std::int64_t i = 0; i < total; ++i) {
+      std::int64_t rem = i;
+      bool in_box = true;
+      for (int d = 0; d < nd; ++d) {
+        const auto ud = static_cast<std::size_t>(d);
+        probe[ud] = rem / strides[ud];
+        rem %= strides[ud];
+        in_box = in_box && probe[ud] >= box.lo[ud] && probe[ud] < box.hi[ud];
+      }
+      if (in_box) {
+        ASSERT_EQ(base[i], original[i]) << "trial " << trial << " cell " << i;
+        ++inside;
+      } else {
+        ASSERT_EQ(base[i], -7.0F)
+            << "unpack wrote outside the box, trial " << trial;
+      }
+    }
+    ASSERT_EQ(inside, expected.size());
   }
 }
 

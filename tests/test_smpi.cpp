@@ -2,12 +2,14 @@
 // order, collectives, Cartesian topology.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <numeric>
 #include <vector>
 
 #include "smpi/cart.h"
+#include "smpi/pool.h"
 #include "smpi/runtime.h"
 
 namespace {
@@ -254,8 +256,11 @@ TEST(SmpiP2P, SimultaneousBidirectionalLargeMessagesDoNotDeadlock) {
 
 TEST(SmpiRuntime, WorldCountsDeliveredMessages) {
   smpi::run(3, [](Communicator& comm) {
-    comm.barrier();
+    // Capture the baseline before the barrier: every send below happens
+    // after all ranks passed the barrier, hence after every capture.
+    // (Capturing after the barrier races with rank 0's sends.)
     const std::uint64_t before = comm.world().message_count();
+    comm.barrier();
     if (comm.rank() == 0) {
       const int v = 1;
       comm.send_n(&v, 1, 1, 0);
@@ -332,6 +337,129 @@ TEST(SmpiCart, TopologyValidation) {
   smpi::run(4, [](Communicator& comm) {
     EXPECT_THROW(CartComm(comm, {3, 1}), std::invalid_argument);
     EXPECT_THROW(CartComm(comm, {0, 4}), std::invalid_argument);
+  });
+}
+
+TEST(BufferPool, MissThenHitOnSameBucket) {
+  smpi::BufferPool pool;
+  smpi::PoolBuffer a = pool.acquire(100);
+  EXPECT_EQ(a.size, 100U);
+  EXPECT_GE(a.capacity, 100U);
+  EXPECT_EQ(pool.stats().misses, 1U);
+  EXPECT_EQ(pool.stats().hits, 0U);
+
+  pool.release(std::move(a));
+  EXPECT_EQ(pool.stats().pooled_buffers, 1U);
+
+  // Any size that rounds to the same power-of-two bucket is a hit.
+  smpi::PoolBuffer b = pool.acquire(128);
+  EXPECT_EQ(b.size, 128U);
+  EXPECT_EQ(pool.stats().hits, 1U);
+  EXPECT_EQ(pool.stats().misses, 1U);
+  EXPECT_EQ(pool.stats().pooled_buffers, 0U);
+}
+
+TEST(BufferPool, DifferentBucketsDoNotAlias) {
+  smpi::BufferPool pool;
+  smpi::PoolBuffer small = pool.acquire(64);
+  pool.release(std::move(small));
+  // A 1 MiB request must not be served by the 64-byte buffer.
+  smpi::PoolBuffer big = pool.acquire(1 << 20);
+  EXPECT_GE(big.capacity, static_cast<std::size_t>(1) << 20);
+  EXPECT_EQ(pool.stats().misses, 2U);
+  EXPECT_EQ(pool.stats().hits, 0U);
+}
+
+TEST(BufferPool, ZeroByteAcquireRoundTrips) {
+  smpi::BufferPool pool;
+  smpi::PoolBuffer z = pool.acquire(0);
+  EXPECT_EQ(z.size, 0U);
+  EXPECT_TRUE(static_cast<bool>(z));  // Storage exists (smallest bucket).
+  pool.release(std::move(z));
+  smpi::PoolBuffer again = pool.acquire(0);
+  EXPECT_EQ(pool.stats().hits, 1U);
+  pool.release(std::move(again));
+}
+
+TEST(BufferPool, TrimFreesIdleBuffers) {
+  smpi::BufferPool pool;
+  pool.release(pool.acquire(256));
+  pool.release(pool.acquire(4096));
+  EXPECT_EQ(pool.stats().pooled_buffers, 2U);
+  EXPECT_GT(pool.stats().pooled_bytes, 0U);
+  pool.trim();
+  EXPECT_EQ(pool.stats().pooled_buffers, 0U);
+  EXPECT_EQ(pool.stats().pooled_bytes, 0U);
+}
+
+TEST(SmpiTransport, PrePostedReceiveIsSingleCopyRendezvous) {
+  smpi::run(2, [](Communicator& comm) {
+    const auto& tc = comm.world().transport();
+    std::vector<float> payload(1024, 2.5F);
+    std::vector<float> sink(1024, 0.0F);
+    const std::uint64_t r0 = tc.rendezvous.load();
+    const std::uint64_t c0 = tc.payload_copies.load();
+    const std::uint64_t q0 = tc.queued.load();
+
+    Request rx;
+    if (comm.rank() == 1) {
+      rx = comm.irecv(sink.data(), sink.size() * sizeof(float), 0, 5);
+    }
+    // Rank 0 sends only after the receive is posted: the delivery must
+    // copy straight into `sink` (rendezvous) without touching the pool.
+    comm.barrier();
+    if (comm.rank() == 0) {
+      comm.send(payload.data(), payload.size() * sizeof(float), 1, 5);
+    } else {
+      const smpi::Status st = rx.wait();
+      EXPECT_EQ(st.bytes, payload.size() * sizeof(float));
+      EXPECT_FLOAT_EQ(sink.front(), 2.5F);
+      EXPECT_FLOAT_EQ(sink.back(), 2.5F);
+    }
+    comm.barrier();
+    if (comm.rank() == 0) {
+      EXPECT_EQ(tc.rendezvous.load() - r0, 1U);
+      EXPECT_EQ(tc.queued.load() - q0, 0U);
+      EXPECT_EQ(tc.payload_copies.load() - c0, 1U);  // Exactly one copy.
+    }
+  });
+}
+
+TEST(SmpiTransport, UnexpectedMessageIsPooledTwoCopy) {
+  smpi::run(2, [](Communicator& comm) {
+    const auto& tc = comm.world().transport();
+    const smpi::BufferPool& pool = comm.world().pool();
+    const std::uint64_t q0 = tc.queued.load();
+    const std::uint64_t c0 = tc.payload_copies.load();
+    const std::uint64_t miss0 = pool.stats().misses;
+    const std::uint64_t hit0 = pool.stats().hits;
+
+    constexpr int kRounds = 8;
+    std::vector<double> buf(512);
+    for (int round = 0; round < kRounds; ++round) {
+      if (comm.rank() == 0) {
+        std::fill(buf.begin(), buf.end(), 1.0 + round);
+        comm.send(buf.data(), buf.size() * sizeof(double), 1, round);
+      }
+      // The receive is posted strictly after the send has been queued.
+      comm.barrier();
+      if (comm.rank() == 1) {
+        comm.recv(buf.data(), buf.size() * sizeof(double), 0, round);
+        EXPECT_DOUBLE_EQ(buf.front(), 1.0 + round);
+      }
+      comm.barrier();
+    }
+    if (comm.rank() == 0) {
+      // Every round was unexpected: two copies per message, and the pool
+      // misses exactly once (warmup) then hits — zero steady-state
+      // allocations.
+      EXPECT_EQ(tc.queued.load() - q0, static_cast<std::uint64_t>(kRounds));
+      EXPECT_EQ(tc.payload_copies.load() - c0,
+                static_cast<std::uint64_t>(2 * kRounds));
+      EXPECT_EQ(pool.stats().misses - miss0, 1U);
+      EXPECT_EQ(pool.stats().hits - hit0,
+                static_cast<std::uint64_t>(kRounds - 1));
+    }
   });
 }
 
