@@ -46,13 +46,15 @@ void jit_kernel(benchmark::State& state, bool flop_reduce,
   opts.flop_reduce = flop_reduce;
   opts.block = block;
   auto op = model.make_operator(opts);
-  op->set_backend(Operator::Backend::Jit);
+  op->set_default_backend(Operator::Backend::Jit);
   const double dt = model.critical_dt();
   std::int64_t time = 0;
-  op->apply(time, time, model.scalars(dt));  // JIT outside the timed loop.
+  // JIT outside the timed loop.
+  op->apply({.time_m = time, .time_M = time, .scalars = model.scalars(dt)});
   ++time;
   for (auto _ : state) {
-    op->apply(time, time + 4, model.scalars(dt));
+    op->apply({.time_m = time, .time_M = time + 4,
+               .scalars = model.scalars(dt)});
     time += 5;
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 5 *
@@ -94,9 +96,10 @@ void halo_opt_ablation(benchmark::State& state, bool halo_opt) {
       opts.mode = ir::MpiMode::Basic;
       opts.halo_opt = halo_opt;
       Operator op({eq1, eq2}, opts);
-      op.apply(0, 9, {{"dt", 1e-4}});
+      const auto run = op.apply(
+          {.time_m = 0, .time_M = 9, .scalars = {{"dt", 1e-4}}});
       if (comm.rank() == 0) {
-        messages += op.halo_stats().messages;
+        messages += run.halo.messages;
       }
     });
     steps += 10;

@@ -39,9 +39,11 @@ void run_steps(benchmark::State& state, ir::MpiMode mode, int nranks,
                           sym::solve(u.dt() - u.laplace(), sym::Ex(0),
                                      u.forward()))},
                   opts);
-      op.apply(0, kStepsPerIteration - 1, {{"dt", 1e-4}});
+      const auto run = op.apply({.time_m = 0,
+                                 .time_M = kStepsPerIteration - 1,
+                                 .scalars = {{"dt", 1e-4}}});
       if (comm.rank() == 0) {
-        const auto stats = op.halo_stats();
+        const auto& stats = run.halo;
         state.counters["msgs/step"] = static_cast<double>(stats.messages) /
                                       kStepsPerIteration;
         state.counters["bytes/step"] =

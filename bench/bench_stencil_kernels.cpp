@@ -38,14 +38,15 @@ void run_kernel(benchmark::State& state, Operator::Backend backend, int so) {
       0, std::vector<std::int64_t>{kEdge / 4, kEdge / 4},
       std::vector<std::int64_t>{kEdge / 2, kEdge / 2}, 1.0F);
   auto op = model.make_operator({});
-  op->set_backend(backend);
+  op->set_default_backend(backend);
   const double dt = model.critical_dt();
   std::int64_t time = 0;
   // Warm up (forces the JIT compile outside the timed loop).
-  op->apply(time, time, model.scalars(dt));
+  op->apply({.time_m = time, .time_M = time, .scalars = model.scalars(dt)});
   ++time;
   for (auto _ : state) {
-    op->apply(time, time + 4, model.scalars(dt));
+    op->apply({.time_m = time, .time_M = time + 4,
+               .scalars = model.scalars(dt)});
     time += 5;
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 5 *

@@ -80,11 +80,12 @@ void shot(const Grid& grid, ir::MpiMode mode, int rank) {
   // the same decision Devito makes; otherwise fall back to the
   // reference interpreter.
   if (std::system("cc --version > /dev/null 2>&1") == 0) {
-    op->set_backend(Operator::Backend::Jit);
+    op->set_default_backend(jitfd::core::Backend::Jit);
   }
 
   const int steps = 340;
-  op->apply(1, steps, model.scalars(dt));
+  const auto run = op->apply(
+      {.time_m = 1, .time_M = steps, .scalars = model.scalars(dt)});
 
   const auto seismogram = record.assemble();
   // Collective: every rank participates in the reduction.
@@ -96,6 +97,8 @@ void shot(const Grid& grid, ir::MpiMode mode, int rank) {
                 static_cast<long long>(grid.shape()[1]), so, steps, dt,
                 ir::to_string(mode));
     std::printf("wavefield energy: %.3e\n", energy);
+    std::printf("throughput: %.4f GPts/s (%s backend)\n", run.gpts_per_s,
+                jitfd::core::to_string(run.backend));
     // Print a coarse ASCII seismogram: receiver x time, sign of the trace.
     std::printf("seismogram (16 receivers, every 10th step):\n");
     for (std::size_t p = 0; p < rec_coords.size(); ++p) {

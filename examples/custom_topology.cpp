@@ -43,12 +43,12 @@ Result run_config(int nranks, const std::vector<int>& topology,
         u.forward(),
         sym::solve(u.dt() - u.laplace(), sym::Ex(0), u.forward()))},
                 opts);
-    op.apply(0, 19, {{"dt", 1e-4}});
+    const auto run = op.apply(
+        {.time_m = 0, .time_M = 19, .scalars = {{"dt", 1e-4}}});
     const double local = u.norm2(20 % 2);  // Collective (same on all ranks).
-    const auto stats = op.halo_stats();
     std::vector<std::int64_t> totals{
-        static_cast<std::int64_t>(stats.messages),
-        static_cast<std::int64_t>(stats.bytes_sent)};
+        static_cast<std::int64_t>(run.halo.messages),
+        static_cast<std::int64_t>(run.halo.bytes_sent)};
     comm.allreduce(std::span<std::int64_t>(totals), smpi::ReduceOp::Sum);
     if (comm.rank() == 0) {
       result.checksum = local;

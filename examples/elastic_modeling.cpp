@@ -48,11 +48,12 @@ void shot(const Grid& grid, ir::MpiMode mode, int rank) {
   opts.mode = mode;
   auto op = model.make_operator(opts, {&inj_xx, &inj_yy});
   if (std::system("cc --version > /dev/null 2>&1") == 0) {
-    op->set_backend(jitfd::core::Operator::Backend::Jit);
+    op->set_default_backend(jitfd::core::Backend::Jit);
   }
 
   const int steps = 120;
-  op->apply(1, steps, model.scalars(dt));
+  const auto run = op->apply(
+      {.time_m = 1, .time_M = steps, .scalars = model.scalars(dt)});
 
   // Collective: every rank participates in the reduction.
   const double energy = model.field_energy(steps);
@@ -62,11 +63,10 @@ void shot(const Grid& grid, ir::MpiMode mode, int rank) {
                 ir::to_string(mode));
     std::printf("%s\n", op->describe().c_str());
     std::printf("energy(v, tau) after %d steps: %.3e\n", steps, energy);
-    const auto stats = op->halo_stats();
-    if (stats.messages > 0) {
+    if (run.halo.messages > 0) {
       std::printf("halo traffic: %llu messages, %.1f MB sent (this rank)\n",
-                  static_cast<unsigned long long>(stats.messages),
-                  static_cast<double>(stats.bytes_sent) / 1e6);
+                  static_cast<unsigned long long>(run.halo.messages),
+                  static_cast<double>(run.halo.bytes_sent) / 1e6);
     }
   }
 

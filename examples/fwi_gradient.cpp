@@ -94,7 +94,7 @@ void run(const Grid& grid, int rank) {
     Injection inj(fwd.u, src, wavelet, nullptr, 1);
     Interpolation rec(fwd.u, receivers, 1);
     Operator op({fwd.update()}, {}, {&inj, &rec});
-    op.apply(1, kSteps, {{"dt", dt}});
+    op.apply({.time_m = 1, .time_M = kSteps, .scalars = {{"dt", dt}}});
     observed = rec.assemble();
   }
 
@@ -111,7 +111,7 @@ void run(const Grid& grid, int rank) {
     Operator op({ir::Eq(u0.forward(),
                         sym::solve(pde, sym::Ex(0), u0.forward()))},
                 {}, {&inj, &rec});
-    op.apply(1, kSteps, {{"dt", dt}});
+    op.apply({.time_m = 1, .time_M = kSteps, .scalars = {{"dt", dt}}});
     predicted = rec.assemble();
   }
 
@@ -128,7 +128,7 @@ void run(const Grid& grid, int rank) {
 
     for (std::int64_t s = 1; s <= kSteps; ++s) {
       const std::int64_t t_fwd = kSteps - s;  // Forward time being imaged.
-      op.apply(s, s, {{"dt", dt}});
+      op.apply({.time_m = s, .time_M = s, .scalars = {{"dt", dt}}});
       // Inject the residual of forward time t_fwd into the freshly
       // written buffer (stencil update first, then sources — the same
       // ordering the compiler gives SparseOp nodes).

@@ -7,10 +7,16 @@
 // the distributed NumPy-style data access of Listings 2-3 — the source
 // below does not change.
 //
-//   ./quickstart          # serial
-//   ./quickstart 4        # 4 ranks, basic halo-exchange pattern
+//   ./quickstart                        # serial
+//   ./quickstart 4                      # 4 ranks, basic halo pattern
+//   ./quickstart 4 --trace=trace.json   # + per-rank trace: summary on
+//                                       # stdout, Chrome JSON to the file
+//                                       # (open in chrome://tracing or
+//                                       # https://ui.perfetto.dev)
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "core/operator.h"
@@ -22,11 +28,12 @@ using jitfd::core::Operator;
 using jitfd::grid::Grid;
 using jitfd::grid::TimeFunction;
 namespace ir = jitfd::ir;
+namespace obs = jitfd::obs;
 namespace sym = jitfd::sym;
 
 namespace {
 
-void simulate(const Grid& grid, int rank) {
+jitfd::core::RunSummary simulate(const Grid& grid, int rank, bool trace) {
   // Variable declarations (Listing 1, lines 2-8).
   const double nu = 0.5;
   const double sigma = 0.25;
@@ -51,7 +58,8 @@ void simulate(const Grid& grid, int rank) {
   // Generate the operator (the compiler runs here: clustering, flop
   // reduction, halo detection, pattern lowering) and apply one step.
   Operator op({stencil});
-  op.apply(/*time_m=*/0, /*time_M=*/0, {{"dt", dt}});
+  const jitfd::core::RunSummary run = op.apply(
+      {.time_m = 0, .time_M = 0, .scalars = {{"dt", dt}}, .trace = trace});
 
   // Inspect the result as one logical array (gathered on rank 0).
   const std::vector<float> data = u.gather(1);
@@ -71,21 +79,53 @@ void simulate(const Grid& grid, int rank) {
                                                    ? 0
                                                    : pos));
   }
+  return run;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int nranks = argc > 1 ? std::atoi(argv[1]) : 0;
+  int nranks = 0;
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_path = argv[i] + 8;
+    } else {
+      nranks = std::atoi(argv[i]);
+    }
+  }
+  const bool trace = !trace_path.empty();
+
+  jitfd::core::RunSummary run;
   if (nranks > 1) {
     std::printf("running on %d thread-backed MPI ranks\n", nranks);
     smpi::run(nranks, [&](smpi::Communicator& comm) {
       const Grid grid({4, 4}, {2.0, 2.0}, comm);
-      simulate(grid, comm.rank());
+      const auto r = simulate(grid, comm.rank(), trace);
+      if (comm.rank() == 0) {
+        run = r;
+      }
     });
   } else {
     const Grid grid({4, 4}, {2.0, 2.0});
-    simulate(grid, 0);
+    run = simulate(grid, 0, trace);
+  }
+
+  std::printf("\n%lld point-updates in %.3f ms (%s backend, %llu halo "
+              "messages)\n",
+              static_cast<long long>(run.points_updated),
+              1e3 * run.seconds, jitfd::core::to_string(run.backend),
+              static_cast<unsigned long long>(run.halo.messages));
+  // Every rank has finished (smpi::run joined), so the trace snapshot is
+  // complete here.
+  if (run.trace.active()) {
+    std::printf("\n%s", run.trace.summary().c_str());
+    if (run.trace.write_chrome(trace_path)) {
+      std::printf("chrome trace written to %s\n", trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
   }
   return 0;
 }

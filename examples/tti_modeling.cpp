@@ -45,10 +45,10 @@ void shot(const Grid& grid, double theta, int rank) {
 
   auto op = model.make_operator({}, {&inj_p, &inj_q});
   if (std::system("cc --version > /dev/null 2>&1") == 0) {
-    op->set_backend(jitfd::core::Operator::Backend::Jit);
+    op->set_default_backend(jitfd::core::Backend::Jit);
   }
   const int steps = 180;
-  op->apply(1, steps, model.scalars(dt));
+  op->apply({.time_m = 1, .time_M = steps, .scalars = model.scalars(dt)});
 
   const auto p = model.wavefield().gather((steps + 1) % 3);
   const double energy = model.field_energy(steps);  // Collective.

@@ -17,6 +17,7 @@
 
 #include "codegen/emit.h"
 #include "codegen/sha256.h"
+#include "obs/trace.h"
 
 namespace jitfd::codegen {
 
@@ -136,6 +137,8 @@ void compile(const std::string& source, const std::string& compiler,
       << src_path.string() << " -lm";
 
   const auto start = std::chrono::steady_clock::now();
+  const jitfd::obs::Span span("jit.cc", jitfd::obs::Cat::Jit,
+                              static_cast<std::int64_t>(source.size()));
   int rc = 0;
   const std::string diag = run_command(cmd.str(), rc);
   entry.compile_seconds =
@@ -153,6 +156,8 @@ void compile(const std::string& source, const std::string& compiler,
 }  // namespace
 
 JitKernel::JitKernel(const std::string& source, bool openmp) {
+  jitfd::obs::Span build_span("jit.build", jitfd::obs::Cat::Jit,
+                              static_cast<std::int64_t>(source.size()));
   const char* cc = std::getenv("JITFD_CC");
   const std::string compiler = cc != nullptr ? cc : "cc";
   std::string flags = "-O3 -march=native -shared -fPIC";
@@ -170,6 +175,7 @@ JitKernel::JitKernel(const std::string& source, bool openmp) {
   });
 
   cache_hit_ = !compiled_now || entry->from_disk;
+  build_span.set_aux(cache_hit_ ? 1 : 0);
   if (cache_hit_) {
     g_cache_hits.fetch_add(1, std::memory_order_relaxed);
   } else {

@@ -78,7 +78,9 @@ std::unique_ptr<Operator> autotune_operator(
     Operator trial(eqs, trial_opts);
     comm.barrier();
     const auto start = std::chrono::steady_clock::now();
-    trial.apply(time_m, time_m + trial_steps - 1, scalars);
+    trial.apply({.time_m = time_m,
+                 .time_M = time_m + trial_steps - 1,
+                 .scalars = scalars});
     std::vector<double> elapsed{std::chrono::duration<double>(
                                     std::chrono::steady_clock::now() - start)
                                     .count()};

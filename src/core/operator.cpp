@@ -1,5 +1,6 @@
 #include "core/operator.h"
 
+#include <chrono>
 #include <cstdlib>
 #include <functional>
 #include <set>
@@ -7,9 +8,20 @@
 #include <stdexcept>
 
 #include "codegen/emit.h"
+#include "obs/trace.h"
 #include "symbolic/manip.h"
 
 namespace jitfd::core {
+
+const char* to_string(Backend b) {
+  switch (b) {
+    case Backend::Interpret:
+      return "interpret";
+    case Backend::Jit:
+      return "jit";
+  }
+  return "?";
+}
 
 namespace {
 
@@ -35,6 +47,7 @@ void tramp_progress(void* c) {
   }
 }
 void tramp_sparse(void* c, int sparse_id, long time) {
+  const obs::Span span("sparse.apply", obs::Cat::Sparse, time, sparse_id);
   static_cast<JitCtx*>(c)->sparse->at(static_cast<std::size_t>(sparse_id))
       ->apply(time);
 }
@@ -48,6 +61,8 @@ Operator::Operator(std::vector<ir::Eq> eqs, ir::CompileOptions opts,
     throw std::invalid_argument("Operator: no equations");
   }
   // Resolve every referenced field through the registry.
+  obs::Span resolve_span("compile.resolve_fields", obs::Cat::Compile,
+                         static_cast<std::int64_t>(eqs_.size()));
   for (const ir::Eq& eq : eqs_) {
     for (const sym::Ex& e : {eq.lhs, eq.rhs}) {
       sym::walk(e, [&](const sym::Ex& sub) {
@@ -63,6 +78,7 @@ Operator::Operator(std::vector<ir::Eq> eqs, ir::CompileOptions opts,
       });
     }
   }
+  resolve_span.close();
   grid_ = &fields_.all().front()->grid();
   for (const grid::Function* f : fields_.all()) {
     if (&f->grid() != grid_) {
@@ -91,6 +107,8 @@ Operator::Operator(std::vector<ir::Eq> eqs, ir::CompileOptions opts,
   iet_ = ir::lower_to_iet(eqs_, *grid_, opts_, descs, info_);
 
   if (grid_->distributed() && opts_.mode != ir::MpiMode::None) {
+    const obs::Span span("compile.register_spots", obs::Cat::Compile,
+                         static_cast<std::int64_t>(info_.spots.size()));
     halo_ = std::make_unique<runtime::HaloExchange>(*grid_, opts_.mode);
     for (const ir::SpotInfo& spot : info_.spots) {
       halo_->register_spot(spot, fields_);
@@ -98,7 +116,7 @@ Operator::Operator(std::vector<ir::Eq> eqs, ir::CompileOptions opts,
   }
 }
 
-const std::string& Operator::ccode() {
+const std::string& Operator::ccode() const {
   if (ccode_.empty()) {
     ccode_ = codegen::emit_c(iet_, info_, fields_, *grid_, opts_);
   }
@@ -172,12 +190,31 @@ std::string Operator::describe() const {
   return os.str();
 }
 
-runtime::HaloStats Operator::halo_stats() const {
+runtime::HaloStats Operator::cumulative_halo_stats() const {
   return halo_ != nullptr ? halo_->stats() : runtime::HaloStats{};
 }
 
-void Operator::apply(std::int64_t time_m, std::int64_t time_M,
-                     std::map<std::string, double> scalars) {
+namespace {
+
+/// Per-run deltas of the counters; post-run snapshot of the gauges.
+runtime::HaloStats halo_delta(const runtime::HaloStats& before,
+                              const runtime::HaloStats& after) {
+  runtime::HaloStats d = after;
+  d.updates = after.updates - before.updates;
+  d.starts = after.starts - before.starts;
+  d.messages = after.messages - before.messages;
+  d.bytes_sent = after.bytes_sent - before.bytes_sent;
+  d.bytes_received = after.bytes_received - before.bytes_received;
+  d.progress_calls = after.progress_calls - before.progress_calls;
+  return d;
+}
+
+}  // namespace
+
+RunSummary Operator::apply(const ApplyArgs& args) {
+  const obs::EnableScope trace_scope(args.trace);
+
+  std::map<std::string, double> scalars = args.scalars;
   // Bind grid spacings automatically (paper: users never pass h_*).
   for (int d = 0; d < grid_->ndims(); ++d) {
     scalars.emplace("h_" + grid::Grid::dim_name(d), grid_->spacing(d));
@@ -189,13 +226,47 @@ void Operator::apply(std::int64_t time_m, std::int64_t time_M,
     }
   }
 
-  if (backend_ == Backend::Interpret) {
+  RunSummary out;
+  out.backend = args.backend.value_or(backend_);
+  out.steps = args.time_M - args.time_m + 1;
+  out.trace = obs::TraceHandle(args.trace && obs::enabled());
+
+  const runtime::HaloStats before = cumulative_halo_stats();
+  const double jit_cc_before = jit_compile_seconds_;
+  const bool had_kernel = jit_ != nullptr;
+
+  const obs::Span span("apply", obs::Cat::Run, args.time_m,
+                       static_cast<std::int32_t>(out.steps));
+  const auto start = std::chrono::steady_clock::now();
+  if (out.backend == Backend::Interpret) {
     runtime::Interpreter interp(iet_, fields_, halo_.get(), sparse_ops_);
-    interp.run(time_m, time_M, scalars);
+    interp.run(args.time_m, args.time_M, scalars);
   } else {
-    run_jit(time_m, time_M, scalars);
+    run_jit(args.time_m, args.time_M, scalars);
   }
-  points_updated_ = grid_->points() * (time_M - time_m + 1);
+  out.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  points_updated_ = grid_->points() * out.steps;
+  out.points_updated = points_updated_;
+  if (out.seconds > 0.0) {
+    out.gpts_per_s =
+        static_cast<double>(out.points_updated) / out.seconds / 1e9;
+  }
+  out.halo = halo_delta(before, cumulative_halo_stats());
+  if (!had_kernel && jit_ != nullptr) {
+    out.jit_compile_seconds = jit_compile_seconds_ - jit_cc_before;
+    out.jit_cache_hit = jit_cache_hit_;
+  }
+  return out;
+}
+
+void Operator::apply(std::int64_t time_m, std::int64_t time_M,
+                     std::map<std::string, double> scalars) {
+  apply(ApplyArgs{.time_m = time_m,
+                  .time_M = time_M,
+                  .scalars = std::move(scalars)});
 }
 
 void Operator::run_jit(std::int64_t time_m, std::int64_t time_M,
@@ -223,6 +294,10 @@ void Operator::run_jit(std::int64_t time_m, std::int64_t time_M,
   ops.wait = &tramp_wait;
   ops.progress = &tramp_progress;
   ops.sparse = &tramp_sparse;
+  // The generated loops carry no spans; obs derives compute time from
+  // this umbrella minus the halo/sparse callbacks nested inside it.
+  const obs::Span span("jit.run", obs::Cat::Run, time_m,
+                       static_cast<std::int32_t>(time_M - time_m + 1));
   const int rc = jit_->run(field_ptrs.data(), scalar_vals.data(), time_m,
                            time_M, &ctx, &ops);
   if (rc != 0) {

@@ -5,6 +5,7 @@
 #include <set>
 #include <stdexcept>
 
+#include "obs/trace.h"
 #include "symbolic/cse.h"
 #include "symbolic/manip.h"
 
@@ -363,17 +364,29 @@ NodePtr lower_to_iet(const std::vector<Eq>& eqs, const grid::Grid& grid,
     throw std::invalid_argument("lower_to_iet: no equations");
   }
   const int nd = grid.ndims();
-  collect_arg_orders(eqs, info);
+  {
+    const obs::Span span("compile.collect_args", obs::Cat::Compile,
+                         static_cast<std::int64_t>(eqs.size()));
+    collect_arg_orders(eqs, info);
+  }
 
   // Stages 1-3.
+  obs::Span cluster_span("compile.cluster", obs::Cat::Compile,
+                         static_cast<std::int64_t>(eqs.size()));
   std::vector<Cluster> clusters = build_clusters(eqs);
+  cluster_span.close();
   if (opts.flop_reduce) {
+    const obs::Span span("compile.flop_reduce", obs::Cat::Compile,
+                         static_cast<std::int64_t>(clusters.size()));
     flop_reduce(clusters, info);
   }
+  obs::Span halo_span("compile.halo_analyze", obs::Cat::Compile);
   std::vector<HaloNeed> hoisted =
       analyze_halos(clusters, grid, opts.halo_opt);
+  halo_span.close();
 
   // Stage 4: schedule (pre-lowering IET, with HaloSpot placeholders).
+  obs::Span schedule_span("compile.schedule", obs::Cat::Compile);
   std::vector<NodePtr> prologue;
   for (const sym::Temp& t : info.invariants) {
     prologue.push_back(make_expression(sym::symbol(t.name), t.value));
@@ -399,8 +412,11 @@ NodePtr lower_to_iet(const std::vector<Eq>& eqs, const grid::Grid& grid,
   top.push_back(make_time_loop(std::move(step)));
   NodePtr scheduled = make_callable("Kernel", std::move(top));
   info.schedule_dump = to_debug_string(scheduled);
+  schedule_span.close();
 
   // Stage 5: pattern lowering. Rebuild the callable, replacing HaloSpots.
+  const obs::Span lower_span("compile.pattern_lower", obs::Cat::Compile, 0,
+                             static_cast<std::int32_t>(opts.mode));
   int next_spot = 0;
   auto register_spot = [&](const std::vector<HaloNeed>& needs, bool is_hoisted) {
     info.spots.push_back(SpotInfo{next_spot, needs, is_hoisted});

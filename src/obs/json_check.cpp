@@ -1,0 +1,390 @@
+#include "obs/json_check.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace jitfd::obs {
+
+namespace {
+
+struct JVal {
+  enum class Type { Null, Bool, Num, Str, Arr, Obj };
+  Type type = Type::Null;
+  bool boolean = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<JVal> arr;
+  std::vector<std::pair<std::string, JVal>> obj;
+
+  const JVal* find(const std::string& key) const {
+    for (const auto& [k, v] : obj) {
+      if (k == key) {
+        return &v;
+      }
+    }
+    return nullptr;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view s) : s_(s) {}
+
+  bool parse(JVal& out, std::string& err) {
+    skip_ws();
+    if (!value(out, err)) {
+      return false;
+    }
+    skip_ws();
+    if (pos_ != s_.size()) {
+      err = at("trailing characters after JSON value");
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  std::string at(const std::string& msg) const {
+    return msg + " (offset " + std::to_string(pos_) + ")";
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool literal(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  bool value(JVal& out, std::string& err) {
+    if (pos_ >= s_.size()) {
+      err = at("unexpected end of input");
+      return false;
+    }
+    switch (s_[pos_]) {
+      case '{':
+        return object(out, err);
+      case '[':
+        return array(out, err);
+      case '"':
+        out.type = JVal::Type::Str;
+        return string(out.str, err);
+      case 't':
+        if (literal("true")) {
+          out.type = JVal::Type::Bool;
+          out.boolean = true;
+          return true;
+        }
+        break;
+      case 'f':
+        if (literal("false")) {
+          out.type = JVal::Type::Bool;
+          out.boolean = false;
+          return true;
+        }
+        break;
+      case 'n':
+        if (literal("null")) {
+          out.type = JVal::Type::Null;
+          return true;
+        }
+        break;
+      default:
+        return number(out, err);
+    }
+    err = at("invalid token");
+    return false;
+  }
+
+  bool number(JVal& out, std::string& err) {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') {
+      ++pos_;
+    }
+    if (pos_ >= s_.size() || !std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+      err = at("invalid number");
+      return false;
+    }
+    while (pos_ < s_.size() &&
+           std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ < s_.size() && s_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= s_.size() ||
+          !std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        err = at("invalid fraction");
+        return false;
+      }
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= s_.size() ||
+          !std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        err = at("invalid exponent");
+        return false;
+      }
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+      }
+    }
+    out.type = JVal::Type::Num;
+    out.num = std::strtod(std::string(s_.substr(start, pos_ - start)).c_str(),
+                          nullptr);
+    return true;
+  }
+
+  bool string(std::string& out, std::string& err) {
+    ++pos_;  // Opening quote.
+    out.clear();
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        err = at("unescaped control character in string");
+        return false;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) {
+          break;
+        }
+        switch (s_[pos_]) {
+          case '"':
+            out += '"';
+            break;
+          case '\\':
+            out += '\\';
+            break;
+          case '/':
+            out += '/';
+            break;
+          case 'b':
+          case 'f':
+          case 'n':
+          case 'r':
+          case 't':
+            out += ' ';
+            break;
+          case 'u': {
+            for (int i = 1; i <= 4; ++i) {
+              if (pos_ + static_cast<std::size_t>(i) >= s_.size() ||
+                  !std::isxdigit(static_cast<unsigned char>(
+                      s_[pos_ + static_cast<std::size_t>(i)]))) {
+                err = at("invalid \\u escape");
+                return false;
+              }
+            }
+            pos_ += 4;
+            out += '?';
+            break;
+          }
+          default:
+            err = at("invalid escape");
+            return false;
+        }
+        ++pos_;
+        continue;
+      }
+      out += c;
+      ++pos_;
+    }
+    err = at("unterminated string");
+    return false;
+  }
+
+  bool array(JVal& out, std::string& err) {
+    out.type = JVal::Type::Arr;
+    ++pos_;  // '['.
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JVal v;
+      skip_ws();
+      if (!value(v, err)) {
+        return false;
+      }
+      out.arr.push_back(std::move(v));
+      skip_ws();
+      if (pos_ >= s_.size()) {
+        err = at("unterminated array");
+        return false;
+      }
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      err = at("expected ',' or ']'");
+      return false;
+    }
+  }
+
+  bool object(JVal& out, std::string& err) {
+    out.type = JVal::Type::Obj;
+    ++pos_;  // '{'.
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_] != '"') {
+        err = at("expected object key");
+        return false;
+      }
+      std::string key;
+      if (!string(key, err)) {
+        return false;
+      }
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_] != ':') {
+        err = at("expected ':'");
+        return false;
+      }
+      ++pos_;
+      skip_ws();
+      JVal v;
+      if (!value(v, err)) {
+        return false;
+      }
+      out.obj.emplace_back(std::move(key), std::move(v));
+      skip_ws();
+      if (pos_ >= s_.size()) {
+        err = at("unterminated object");
+        return false;
+      }
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      err = at("expected ',' or '}'");
+      return false;
+    }
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+bool require_num(const JVal& ev, const std::string& key, double* out,
+                 std::string& err) {
+  const JVal* v = ev.find(key);
+  if (v == nullptr || v->type != JVal::Type::Num) {
+    err = "event missing numeric \"" + key + "\"";
+    return false;
+  }
+  if (out != nullptr) {
+    *out = v->num;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool json_valid(std::string_view json, std::string* error) {
+  JVal root;
+  std::string err;
+  const bool ok = Parser(json).parse(root, err);
+  if (!ok && error != nullptr) {
+    *error = err;
+  }
+  return ok;
+}
+
+ChromeCheck validate_chrome_trace(std::string_view json) {
+  ChromeCheck out;
+  JVal root;
+  if (!Parser(json).parse(root, out.error)) {
+    return out;
+  }
+  if (root.type != JVal::Type::Obj) {
+    out.error = "top level is not an object";
+    return out;
+  }
+  const JVal* events = root.find("traceEvents");
+  if (events == nullptr || events->type != JVal::Type::Arr) {
+    out.error = "missing \"traceEvents\" array";
+    return out;
+  }
+  for (const JVal& ev : events->arr) {
+    if (ev.type != JVal::Type::Obj) {
+      out.error = "trace event is not an object";
+      return out;
+    }
+    const JVal* name = ev.find("name");
+    const JVal* ph = ev.find("ph");
+    if (name == nullptr || name->type != JVal::Type::Str ||
+        ph == nullptr || ph->type != JVal::Type::Str || ph->str.empty()) {
+      out.error = "event missing string \"name\"/\"ph\"";
+      return out;
+    }
+    if (ph->str == "M") {
+      continue;  // Metadata events carry no timestamps.
+    }
+    double ts = 0.0;
+    double tid = 0.0;
+    if (!require_num(ev, "ts", &ts, out.error) ||
+        !require_num(ev, "pid", nullptr, out.error) ||
+        !require_num(ev, "tid", &tid, out.error)) {
+      return out;
+    }
+    if (ts < 0.0) {
+      out.error = "negative timestamp";
+      return out;
+    }
+    if (ph->str == "X") {
+      double dur = 0.0;
+      if (!require_num(ev, "dur", &dur, out.error)) {
+        return out;
+      }
+      if (dur < 0.0) {
+        out.error = "negative duration";
+        return out;
+      }
+      ++out.complete;
+    } else if (ph->str == "i") {
+      ++out.instants;
+    }
+    ++out.events;
+    out.tids.insert(static_cast<int>(tid));
+  }
+  out.ok = true;
+  return out;
+}
+
+}  // namespace jitfd::obs

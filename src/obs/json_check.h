@@ -1,0 +1,37 @@
+// Minimal JSON parser + Chrome trace-event schema validation.
+//
+// Dependency-free (the container bakes in no JSON library): a strict
+// recursive-descent parser over the full JSON grammar, plus a checker
+// for the subset of the trace-event format obs/report.cpp emits. Used
+// by tests/test_trace.cpp and the tools/trace_check CI gate.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <string_view>
+
+namespace jitfd::obs {
+
+/// Result of validate_chrome_trace.
+struct ChromeCheck {
+  bool ok = false;
+  std::string error;           ///< First violation (empty when ok).
+  std::int64_t events = 0;     ///< Non-metadata trace events.
+  std::int64_t complete = 0;   ///< ph == "X" events.
+  std::int64_t instants = 0;   ///< ph == "i" events.
+  std::set<int> tids;          ///< Distinct tids (ranks) seen.
+};
+
+/// Parse `json` and check the Chrome trace-event schema:
+///  - top level is an object with a "traceEvents" array;
+///  - every event is an object with string "name"/"ph" and numeric
+///    "ts"/"pid"/"tid";
+///  - "X" events carry a non-negative numeric "dur";
+///  - timestamps are non-negative.
+ChromeCheck validate_chrome_trace(std::string_view json);
+
+/// Bare JSON well-formedness check (full grammar, no schema).
+bool json_valid(std::string_view json, std::string* error = nullptr);
+
+}  // namespace jitfd::obs

@@ -1,0 +1,242 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+
+namespace jitfd::obs {
+
+namespace detail {
+
+std::atomic<std::uint32_t> g_enabled{0};
+
+}  // namespace detail
+
+namespace {
+
+// Bit 31 of g_enabled is the global force flag; the low bits count live
+// EnableScopes. enabled() only tests != 0, so the two compose freely.
+constexpr std::uint32_t kForceBit = 1U << 31;
+
+std::atomic<std::size_t> g_capacity{std::size_t{1} << 16};
+
+std::size_t round_pow2(std::size_t n) {
+  std::size_t p = 8;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+/// Single-writer ring buffer of one thread. The owning thread is the
+/// only writer; collectors read behind an acquire on `head` and are
+/// documented to run only while the writer is quiescent.
+struct ThreadBuffer {
+  explicit ThreadBuffer(std::size_t capacity, int rank_)
+      : slots(capacity), mask(capacity - 1), rank(rank_) {}
+
+  std::vector<Event> slots;
+  std::size_t mask;
+  std::atomic<std::uint64_t> head{0};
+  int rank;
+};
+
+struct Registry {
+  std::mutex mtx;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // Leaked: rank threads may outlive
+  return *r;                          // static destruction order.
+}
+
+thread_local ThreadBuffer* t_buf = nullptr;
+thread_local int t_rank = 0;
+thread_local int t_depth = 0;
+
+ThreadBuffer* attach_thread() {
+  auto buf = std::make_unique<ThreadBuffer>(
+      round_pow2(g_capacity.load(std::memory_order_relaxed)), t_rank);
+  t_buf = buf.get();
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mtx);
+  reg.buffers.push_back(std::move(buf));
+  return t_buf;
+}
+
+void push(const Event& e) {
+  ThreadBuffer* b = t_buf != nullptr ? t_buf : attach_thread();
+  const std::uint64_t h = b->head.load(std::memory_order_relaxed);
+  b->slots[static_cast<std::size_t>(h) & b->mask] = e;
+  b->head.store(h + 1, std::memory_order_release);
+}
+
+/// Reads JITFD_TRACE / JITFD_TRACE_RING before main.
+const bool g_env_init = [] {
+  if (const char* ring = std::getenv("JITFD_TRACE_RING")) {
+    const long n = std::atol(ring);
+    if (n > 0) {
+      set_ring_capacity(static_cast<std::size_t>(n));
+    }
+  }
+  if (const char* on = std::getenv("JITFD_TRACE")) {
+    if (on[0] != '\0' && on[0] != '0') {
+      set_enabled(true);
+    }
+  }
+  return true;
+}();
+
+}  // namespace
+
+const char* to_string(Cat cat) {
+  switch (cat) {
+    case Cat::Compile:
+      return "compile";
+    case Cat::Jit:
+      return "jit";
+    case Cat::Compute:
+      return "compute";
+    case Cat::Pack:
+      return "pack";
+    case Cat::Send:
+      return "send";
+    case Cat::Wait:
+      return "wait";
+    case Cat::Unpack:
+      return "unpack";
+    case Cat::Halo:
+      return "halo";
+    case Cat::Msg:
+      return "msg";
+    case Cat::Sync:
+      return "sync";
+    case Cat::Sparse:
+      return "sparse";
+    case Cat::Run:
+      return "run";
+  }
+  return "?";
+}
+
+std::uint64_t now_ns() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point epoch = clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                           epoch)
+          .count());
+}
+
+void set_enabled(bool on) {
+  if (on) {
+    detail::g_enabled.fetch_or(kForceBit, std::memory_order_relaxed);
+    (void)now_ns();  // Pin the epoch before the first span.
+  } else {
+    detail::g_enabled.fetch_and(~kForceBit, std::memory_order_relaxed);
+  }
+}
+
+EnableScope::EnableScope(bool on) : on_(on) {
+  if (on_) {
+    detail::g_enabled.fetch_add(1, std::memory_order_relaxed);
+    (void)now_ns();
+  }
+}
+
+EnableScope::~EnableScope() {
+  if (on_) {
+    detail::g_enabled.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void set_thread_rank(int rank) {
+  t_rank = rank;
+  if (t_buf != nullptr) {
+    t_buf->rank = rank;
+  }
+}
+
+void set_ring_capacity(std::size_t events) {
+  g_capacity.store(round_pow2(events), std::memory_order_relaxed);
+}
+
+namespace detail {
+
+std::uint64_t span_begin() {
+  ++t_depth;
+  return now_ns();
+}
+
+void span_end(const char* name, Cat cat, std::uint64_t t0_ns,
+              std::int64_t a0, std::int32_t a1) {
+  const std::uint64_t t1 = now_ns();
+  const int depth = --t_depth;
+  Event e;
+  e.name = name;
+  e.cat = cat;
+  e.t0_ns = t0_ns;
+  e.t1_ns = t1;
+  e.a0 = a0;
+  e.a1 = a1;
+  e.depth = static_cast<std::uint8_t>(depth < 0 ? 0 : depth);
+  push(e);
+}
+
+void record_instant(const char* name, Cat cat, std::int64_t a0,
+                    std::int32_t a1) {
+  Event e;
+  e.name = name;
+  e.cat = cat;
+  e.t0_ns = e.t1_ns = now_ns();
+  e.a0 = a0;
+  e.a1 = a1;
+  e.depth = static_cast<std::uint8_t>(t_depth < 0 ? 0 : t_depth);
+  push(e);
+}
+
+}  // namespace detail
+
+TraceData collect() {
+  TraceData out;
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mtx);
+  for (const auto& buf : reg.buffers) {
+    const std::uint64_t h = buf->head.load(std::memory_order_acquire);
+    const std::uint64_t cap = buf->mask + 1;
+    const std::uint64_t n = h < cap ? h : cap;
+    out.dropped += h - n;
+    for (std::uint64_t i = h - n; i < h; ++i) {
+      const Event& e = buf->slots[static_cast<std::size_t>(i) & buf->mask];
+      TraceData::Rec rec;
+      rec.name = e.name != nullptr ? e.name : "?";
+      rec.cat = e.cat;
+      rec.rank = buf->rank;
+      rec.t0_ns = e.t0_ns;
+      rec.t1_ns = e.t1_ns;
+      rec.a0 = e.a0;
+      rec.a1 = e.a1;
+      rec.depth = e.depth;
+      out.events.push_back(std::move(rec));
+    }
+  }
+  std::stable_sort(out.events.begin(), out.events.end(),
+                   [](const TraceData::Rec& a, const TraceData::Rec& b) {
+                     return a.rank != b.rank ? a.rank < b.rank
+                                             : a.t0_ns < b.t0_ns;
+                   });
+  return out;
+}
+
+void reset() {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mtx);
+  for (const auto& buf : reg.buffers) {
+    buf->head.store(0, std::memory_order_release);
+  }
+}
+
+}  // namespace jitfd::obs

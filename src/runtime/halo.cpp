@@ -4,6 +4,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/trace.h"
+
 namespace jitfd::runtime {
 
 namespace {
@@ -281,6 +283,7 @@ void HaloExchange::update(int spot, std::int64_t time) {
   if (!grid_->distributed()) {
     return;
   }
+  const obs::Span span("halo.update", obs::Cat::Halo, time, spot);
   Spot& s = spots_.at(static_cast<std::size_t>(spot));
   if (mode_ == ir::MpiMode::Basic || mode_ == ir::MpiMode::None) {
     update_basic(s, time);
@@ -323,15 +326,29 @@ void HaloExchange::update_basic(Spot& s, std::int64_t time) {
         comm.barrier();
       }
       for (DirPlan& dp : faces) {
-        pack(*plan.fn, buf, dp);
-        comm.send(dp.send_buf.data(), dp.send_buf.size() * sizeof(float),
-                  dp.neighbor, dp.send_tag);
+        const auto bytes =
+            static_cast<std::int64_t>(dp.send_buf.size() * sizeof(float));
+        {
+          const obs::Span sp("halo.pack", obs::Cat::Pack, bytes, dp.neighbor);
+          pack(*plan.fn, buf, dp);
+        }
+        {
+          const obs::Span sp("halo.send", obs::Cat::Send, bytes, dp.neighbor);
+          comm.send(dp.send_buf.data(), dp.send_buf.size() * sizeof(float),
+                    dp.neighbor, dp.send_tag);
+        }
         ++stats_.messages;
         stats_.bytes_sent += dp.send_buf.size() * sizeof(float);
       }
       for (std::size_t i = 0; i < faces.size(); ++i) {
+        obs::Span wp("halo.wait", obs::Cat::Wait, 0, faces[i].neighbor);
         const smpi::Status st = s.pending[i].wait();
+        wp.set_arg(static_cast<std::int64_t>(st.bytes));
+        wp.close();
         stats_.bytes_received += st.bytes;
+        const obs::Span up("halo.unpack", obs::Cat::Unpack,
+                           static_cast<std::int64_t>(st.bytes),
+                           faces[i].neighbor);
         unpack(*plan.fn, buf, faces[i]);
       }
       s.pending.clear();
@@ -356,9 +373,17 @@ void HaloExchange::post_star(Spot& s, std::int64_t time) {
   for (FieldPlan& plan : s.fields) {
     const int buf = buffer_index(*plan.fn, plan.time_offset, time);
     for (DirPlan& dp : plan.dirs) {
-      pack(*plan.fn, buf, dp);
-      comm.send(dp.send_buf.data(), dp.send_buf.size() * sizeof(float),
-                dp.neighbor, dp.send_tag);
+      const auto bytes =
+          static_cast<std::int64_t>(dp.send_buf.size() * sizeof(float));
+      {
+        const obs::Span sp("halo.pack", obs::Cat::Pack, bytes, dp.neighbor);
+        pack(*plan.fn, buf, dp);
+      }
+      {
+        const obs::Span sp("halo.send", obs::Cat::Send, bytes, dp.neighbor);
+        comm.send(dp.send_buf.data(), dp.send_buf.size() * sizeof(float),
+                  dp.neighbor, dp.send_tag);
+      }
       ++stats_.messages;
       stats_.bytes_sent += dp.send_buf.size() * sizeof(float);
     }
@@ -369,13 +394,20 @@ void HaloExchange::post_star(Spot& s, std::int64_t time) {
 
 void HaloExchange::complete_star(Spot& s, std::int64_t time) {
   for (smpi::Request& r : s.pending) {
+    obs::Span wp("halo.wait", obs::Cat::Wait);
     const smpi::Status st = r.wait();
+    wp.set_arg(static_cast<std::int64_t>(st.bytes));
+    wp.close();
     stats_.bytes_received += st.bytes;
   }
   s.pending.clear();
   for (FieldPlan& plan : s.fields) {
     const int buf = buffer_index(*plan.fn, plan.time_offset, time);
     for (DirPlan& dp : plan.dirs) {
+      const obs::Span up(
+          "halo.unpack", obs::Cat::Unpack,
+          static_cast<std::int64_t>(dp.recv_buf.size() * sizeof(float)),
+          dp.neighbor);
       unpack(*plan.fn, buf, dp);
     }
   }
@@ -386,6 +418,7 @@ void HaloExchange::start(int spot, std::int64_t time) {
   if (!grid_->distributed()) {
     return;
   }
+  const obs::Span span("halo.start", obs::Cat::Halo, time, spot);
   post_star(spots_.at(static_cast<std::size_t>(spot)), time);
   ++stats_.starts;
   sync_transport_stats();
@@ -399,6 +432,7 @@ void HaloExchange::wait(int spot) {
   if (!s.in_flight) {
     return;
   }
+  const obs::Span span("halo.finish", obs::Cat::Halo, 0, spot);
   complete_star(s, inflight_time_[static_cast<std::size_t>(spot)]);
   sync_transport_stats();
 }

@@ -5,6 +5,8 @@
 #include <functional>
 #include <stdexcept>
 
+#include "obs/trace.h"
+
 namespace jitfd::runtime {
 
 namespace {
@@ -368,9 +370,12 @@ void Interpreter::execute(const ir::Node& node) {
           break;
       }
       return;
-    case ir::NodeType::SparseOp:
+    case ir::NodeType::SparseOp: {
+      const obs::Span span("sparse.apply", obs::Cat::Sparse, time_,
+                           node.sparse_id);
       sparse_ops_.at(static_cast<std::size_t>(node.sparse_id))->apply(time_);
       return;
+    }
   }
 }
 
@@ -407,7 +412,24 @@ void Interpreter::run(std::int64_t time_m, std::int64_t time_M,
     if (top->type == ir::NodeType::TimeLoop) {
       for (std::int64_t t = time_m; t <= time_M; ++t) {
         time_ = t;
+        const obs::Span step("step", obs::Cat::Run, t);
         for (const ir::NodePtr& child : top->body) {
+          // Halo and sparse nodes trace themselves; everything else in
+          // the step body is stencil computation.
+          if (child->type == ir::NodeType::HaloComm ||
+              child->type == ir::NodeType::SparseOp) {
+            execute(*child);
+            continue;
+          }
+          const char* name = "compute";
+          if (child->type == ir::NodeType::Section) {
+            if (child->name == "core") {
+              name = "compute.core";
+            } else if (child->name == "remainder") {
+              name = "compute.remainder";
+            }
+          }
+          const obs::Span span(name, obs::Cat::Compute, t);
           execute(*child);
         }
       }

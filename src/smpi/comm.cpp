@@ -5,6 +5,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/trace.h"
+
 namespace smpi {
 
 Status Request::wait() {
@@ -28,6 +30,7 @@ World::World(int nranks) {
 }
 
 void World::barrier() {
+  const jitfd::obs::Span span("smpi.barrier", jitfd::obs::Cat::Sync);
   std::unique_lock<std::mutex> lock(barrier_mtx_);
   const std::uint64_t my_generation = barrier_generation_;
   if (++barrier_waiting_ == size()) {
@@ -141,6 +144,10 @@ void Communicator::allreduce_impl(std::span<T> values, ReduceOp op) const {
   // the control path (norms, diagnostics), never in the halo-exchange inner
   // loop.
   const std::size_t bytes = values.size_bytes();
+  // Closed before the broadcast so the nested bcast span isn't counted
+  // twice in the Sync totals.
+  jitfd::obs::Span span("smpi.allreduce", jitfd::obs::Cat::Sync,
+                        static_cast<std::int64_t>(bytes));
   if (rank_ == 0) {
     std::vector<T> incoming(values.size());
     for (int src = 1; src < size(); ++src) {
@@ -153,6 +160,7 @@ void Communicator::allreduce_impl(std::span<T> values, ReduceOp op) const {
     deliver_bytes(*world_, rank_, 0, kCollectiveTag, Channel::Collective,
                   values.data(), bytes);
   }
+  span.close();
   bcast(values.data(), bytes, 0);
 }
 
@@ -166,6 +174,8 @@ void Communicator::allreduce(std::span<std::int64_t> values,
 }
 
 void Communicator::bcast(void* buf, std::size_t bytes, int root) const {
+  const jitfd::obs::Span span("smpi.bcast", jitfd::obs::Cat::Sync,
+                              static_cast<std::int64_t>(bytes), root);
   if (rank_ == root) {
     for (int dst = 0; dst < size(); ++dst) {
       if (dst != root) {
@@ -182,6 +192,8 @@ void Communicator::bcast(void* buf, std::size_t bytes, int root) const {
 
 void Communicator::gather(const void* sendbuf, std::size_t bytes,
                           void* recvbuf, int root) const {
+  const jitfd::obs::Span span("smpi.gather", jitfd::obs::Cat::Sync,
+                              static_cast<std::int64_t>(bytes), root);
   if (rank_ == root) {
     auto* out = static_cast<std::byte*>(recvbuf);
     std::memcpy(out + static_cast<std::size_t>(root) * bytes, sendbuf, bytes);

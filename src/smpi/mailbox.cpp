@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/trace.h"
+
 namespace smpi {
 
 bool Mailbox::matches(const OpState& op, int source, int tag,
@@ -63,6 +65,8 @@ void Mailbox::deliver(int source, int tag, Channel channel, const void* data,
       counters_->queued.fetch_add(1, std::memory_order_relaxed);
       counters_->payload_copies.fetch_add(1, std::memory_order_relaxed);
       counters_->bytes_delivered.fetch_add(bytes, std::memory_order_relaxed);
+      jitfd::obs::instant("msg.queued", jitfd::obs::Cat::Msg,
+                          static_cast<std::int64_t>(bytes), source);
       return;
     }
     match = *it;
@@ -75,6 +79,8 @@ void Mailbox::deliver(int source, int tag, Channel channel, const void* data,
   counters_->rendezvous.fetch_add(1, std::memory_order_relaxed);
   counters_->payload_copies.fetch_add(1, std::memory_order_relaxed);
   counters_->bytes_delivered.fetch_add(bytes, std::memory_order_relaxed);
+  jitfd::obs::instant("msg.rendezvous", jitfd::obs::Cat::Msg,
+                      static_cast<std::int64_t>(bytes), source);
 }
 
 void Mailbox::post_recv(const std::shared_ptr<OpState>& op) {

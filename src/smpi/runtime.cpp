@@ -4,6 +4,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/trace.h"
+
 namespace smpi {
 
 void run(int nranks, const std::function<void(Communicator&)>& body) {
@@ -16,6 +18,7 @@ void run(int nranks, const std::function<void(Communicator&)>& body) {
   threads.reserve(static_cast<std::size_t>(nranks - 1));
   for (int r = 1; r < nranks; ++r) {
     threads.emplace_back([&world, &body, &errors, r] {
+      jitfd::obs::set_thread_rank(r);
       Communicator comm(&world, r);
       try {
         body(comm);
@@ -25,6 +28,7 @@ void run(int nranks, const std::function<void(Communicator&)>& body) {
     });
   }
   {
+    jitfd::obs::set_thread_rank(0);
     Communicator comm(&world, 0);
     try {
       body(comm);

@@ -32,7 +32,7 @@ TEST(Autotune, SerialGridSkipsTrialsAndUsesNoComm) {
                               &report);
   EXPECT_EQ(op->options().mode, ir::MpiMode::None);
   EXPECT_TRUE(report.seconds.empty());
-  op->apply(0, 0, {{"dt", 1e-3}});
+  op->apply({.time_m = 0, .time_M = 0, .scalars = {{"dt", 1e-3}}});
 }
 
 TEST(Autotune, TrialsAllPatternsAndRestoresData) {
@@ -80,7 +80,7 @@ TEST(Autotune, TunedOperatorMatchesSerialReference) {
     u.fill_global_box(0, std::vector<std::int64_t>{1, 1},
                       std::vector<std::int64_t>{n - 1, n - 1}, 1.0F);
     Operator op({diffusion_eq(u)});
-    op.apply(0, steps - 1, {{"dt", dt}});
+    op.apply({.time_m = 0, .time_M = steps - 1, .scalars = {{"dt", dt}}});
     expected = u.gather(steps % 2);
   }
   smpi::run(4, [&](smpi::Communicator& comm) {
@@ -89,7 +89,7 @@ TEST(Autotune, TunedOperatorMatchesSerialReference) {
     u.fill_global_box(0, std::vector<std::int64_t>{1, 1},
                       std::vector<std::int64_t>{n - 1, n - 1}, 1.0F);
     auto op = autotune_operator({diffusion_eq(u)}, {}, {{"dt", dt}}, 0, 2);
-    op->apply(0, steps - 1, {{"dt", dt}});
+    op->apply({.time_m = 0, .time_M = steps - 1, .scalars = {{"dt", dt}}});
     const auto got = u.gather(steps % 2);
     if (comm.rank() == 0) {
       for (std::size_t i = 0; i < got.size(); ++i) {

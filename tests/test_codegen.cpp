@@ -140,12 +140,14 @@ TEST(CodegenJit, JitMatchesInterpreterOnDiffusion) {
     const std::vector<std::int64_t> hi{7, 9};
     u.fill_global_box(0, lo, hi, 1.0F);
     Operator op = diffusion_operator(g, u);
-    op.set_backend(backend);
-    op.apply(0, 4, {{"dt", dt}});
+    op.set_default_backend(backend);
+    const auto run = op.apply(
+        {.time_m = 0, .time_M = 4, .scalars = {{"dt", dt}}});
+    EXPECT_EQ(run.backend, backend);
     if (backend == Operator::Backend::Jit) {
       // Either a fresh external-compiler build took measurable time, or
       // the identical source was already in the compile cache.
-      EXPECT_TRUE(op.jit_cache_hit() || op.jit_compile_seconds() > 0.0);
+      EXPECT_TRUE(run.jit_cache_hit || run.jit_compile_seconds > 0.0);
     }
     return u.gather(5 % 2);
   };
@@ -172,7 +174,7 @@ TEST(CodegenJit, JitRunsDistributedBasicMode) {
     const std::vector<std::int64_t> hi{n - 1, n - 1};
     u.fill_global_box(0, lo, hi, 1.0F);
     Operator op = diffusion_operator(g, u);
-    op.apply(0, 3, {{"dt", dt}});
+    op.apply({.time_m = 0, .time_M = 3, .scalars = {{"dt", dt}}});
     expected = u.gather(0);
   }
   smpi::run(2, [&](smpi::Communicator& comm) {
@@ -184,8 +186,8 @@ TEST(CodegenJit, JitRunsDistributedBasicMode) {
     ir::CompileOptions opts;
     opts.mode = ir::MpiMode::Basic;
     Operator op = diffusion_operator(g, u, opts);
-    op.set_backend(Operator::Backend::Jit);
-    op.apply(0, 3, {{"dt", dt}});
+    op.set_default_backend(Operator::Backend::Jit);
+    op.apply({.time_m = 0, .time_M = 3, .scalars = {{"dt", dt}}});
     const auto got = u.gather(0);
     if (comm.rank() == 0) {
       for (std::size_t i = 0; i < got.size(); ++i) {
@@ -235,8 +237,8 @@ TEST(CodegenJit, BlockedKernelMatchesUnblocked) {
     ir::CompileOptions opts;
     opts.block = block;
     Operator op = diffusion_operator(g, u, opts);
-    op.set_backend(Operator::Backend::Jit);
-    op.apply(0, 3, {{"dt", dt}});
+    op.set_default_backend(Operator::Backend::Jit);
+    op.apply({.time_m = 0, .time_M = 3, .scalars = {{"dt", dt}}});
     return u.gather(4 % 2);
   };
   const auto plain = run(0);
@@ -258,7 +260,8 @@ TEST(CodegenJit, TtiKernelWithSqrtCompilesAndRuns) {
   auto op = model.make_operator({});
   EXPECT_NE(op->ccode().find("sqrtf("), std::string::npos);
   // Interpreter reference.
-  op->apply(0, 3, model.scalars(model.critical_dt()));
+  op->apply({.time_m = 0, .time_M = 3,
+             .scalars = model.scalars(model.critical_dt())});
   const auto expected = model.wavefield().gather(4 % 3);
 
   const Grid g2({16, 16}, {1.0, 1.0});
@@ -266,8 +269,9 @@ TEST(CodegenJit, TtiKernelWithSqrtCompilesAndRuns) {
   model2.wavefield().fill_global_box(0, std::vector<std::int64_t>{7, 7},
                                      std::vector<std::int64_t>{9, 9}, 1e-3F);
   auto op2 = model2.make_operator({});
-  op2->set_backend(Operator::Backend::Jit);
-  op2->apply(0, 3, model2.scalars(model2.critical_dt()));
+  op2->set_default_backend(Operator::Backend::Jit);
+  op2->apply({.time_m = 0, .time_M = 3,
+              .scalars = model2.scalars(model2.critical_dt())});
   const auto got = model2.wavefield().gather(4 % 3);
   for (std::size_t i = 0; i < got.size(); ++i) {
     ASSERT_NEAR(got[i], expected[i], 1e-7) << "at " << i;
@@ -283,8 +287,8 @@ TEST(CodegenJit, OneDimensionalKernelCompiles) {
   u.set_global(0, std::vector<std::int64_t>{8}, 1.0F);
   const sym::Ex pde = u.dt() - sym::diff(u.now(), 0, 2, 2);
   Operator op({ir::Eq(u.forward(), sym::solve(pde, sym::Ex(0), u.forward()))});
-  op.set_backend(Operator::Backend::Jit);
-  op.apply(0, 9, {{"dt", 1e-3}});
+  op.set_default_backend(Operator::Backend::Jit);
+  op.apply({.time_m = 0, .time_M = 9, .scalars = {{"dt", 1e-3}}});
   const auto data = u.gather(10 % 2);
   double mass = 0.0;
   for (const float v : data) {
@@ -308,8 +312,8 @@ TEST(CodegenJit, PaddedFieldsIndexThroughTheFullLeftOffset) {
     Operator op = diffusion_operator(g, u);
     EXPECT_NE(op.ccode().find("[x + 5][y + 5]"), std::string::npos)
         << op.ccode();  // lpad = halo(2) + padding(3).
-    op.set_backend(backend);
-    op.apply(0, 2, {{"dt", 1e-3}});
+    op.set_default_backend(backend);
+    op.apply({.time_m = 0, .time_M = 2, .scalars = {{"dt", 1e-3}}});
     return u.gather(3 % 2);
   };
   const auto interp = run(Operator::Backend::Interpret);
@@ -387,9 +391,10 @@ TEST(CodegenJit, IdenticalOperatorsShareOneCompile) {
     const std::vector<std::int64_t> hi{7, 7};
     u.fill_global_box(0, lo, hi, 1.0F);
     Operator op = diffusion_operator(g, u);
-    op.set_backend(Operator::Backend::Jit);
-    op.apply(0, 2, {{"dt", 1e-3}});
-    return op.jit_cache_hit();
+    op.set_default_backend(Operator::Backend::Jit);
+    const auto run = op.apply(
+        {.time_m = 0, .time_M = 2, .scalars = {{"dt", 1e-3}}});
+    return run.jit_cache_hit;
   };
   build_and_run();
   const bool second_hit = build_and_run();

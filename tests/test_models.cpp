@@ -69,7 +69,7 @@ TEST(Models, AcousticWaveIsCausalAndDamped) {
       nullptr, 1);
   auto op = model.make_operator({}, {&inj});
   const int steps = 10;
-  op->apply(1, steps, model.scalars(dt));
+  op->apply({.time_m = 1, .time_M = steps, .scalars = model.scalars(dt)});
 
   // Causality: after `steps` steps the wave travelled at most
   // c * steps * dt (+ stencil radius widening); the far corner is silent.
@@ -80,7 +80,7 @@ TEST(Models, AcousticWaveIsCausalAndDamped) {
   EXPECT_GT(model.field_energy(steps), 0.0);
 
   // Longer run with absorbing boundaries remains bounded.
-  op->apply(steps + 1, 120, model.scalars(dt));
+  op->apply({.time_m = steps + 1, .time_M = 120, .scalars = model.scalars(dt)});
   const double e = model.field_energy(120);
   EXPECT_TRUE(std::isfinite(e));
   EXPECT_LT(e, 1e6);
@@ -104,7 +104,7 @@ TEST(Models, AcousticStandingModeFrequencyIsCorrect) {
     (void)buf;
   }
   auto op = model.make_operator({});
-  op->apply(1, 200, model.scalars(dt));
+  op->apply({.time_m = 1, .time_M = 200, .scalars = model.scalars(dt)});
   EXPECT_TRUE(std::isfinite(model.field_energy(200)));
   EXPECT_LT(model.field_energy(200), 1e4);
 }
@@ -127,7 +127,7 @@ void run_mode_equivalence(int so, std::int64_t n, int steps,
         nullptr, 1);
     ir::CompileOptions opts;
     auto op = model.make_operator(opts, {&inj});
-    op->apply(1, steps, model.scalars(dt));
+    op->apply({.time_m = 1, .time_M = steps, .scalars = model.scalars(dt)});
     const int nb = model.wavefield().time_buffers();
     return model.wavefield().gather((steps + 1) % nb);
   };
@@ -156,7 +156,7 @@ void run_mode_equivalence(int so, std::int64_t n, int steps,
       ir::CompileOptions opts;
       opts.mode = mode;
       auto op = model.make_operator(opts, {&inj});
-      op->apply(1, steps, model.scalars(dt));
+      op->apply({.time_m = 1, .time_M = steps, .scalars = model.scalars(dt)});
       const int nb = model.wavefield().time_buffers();
       const auto got = model.wavefield().gather((steps + 1) % nb);
       if (comm.rank() == 0) {
@@ -202,7 +202,8 @@ TEST(Models, Acoustic3DDistributedSmoke) {
         1, std::vector<std::int64_t>{5, 5, 5},
         std::vector<std::int64_t>{7, 7, 7}, 1.0F);
     auto op = model.make_operator({});
-    op->apply(1, steps, model.scalars(model.critical_dt()));
+    op->apply({.time_m = 1, .time_M = steps,
+               .scalars = model.scalars(model.critical_dt())});
     expected = model.wavefield().gather((steps + 1) % 3);
   }
   smpi::run(8, [&](smpi::Communicator& comm) {
@@ -217,7 +218,8 @@ TEST(Models, Acoustic3DDistributedSmoke) {
     ir::CompileOptions opts;
     opts.mode = ir::MpiMode::Diagonal;
     auto op = model.make_operator(opts);
-    op->apply(1, steps, model.scalars(model.critical_dt()));
+    op->apply({.time_m = 1, .time_M = steps,
+               .scalars = model.scalars(model.critical_dt())});
     const auto got = model.wavefield().gather((steps + 1) % 3);
     if (comm.rank() == 0) {
       for (std::size_t i = 0; i < got.size(); ++i) {
@@ -268,7 +270,8 @@ void run_3d_equivalence(ir::MpiMode mode, int so, std::int64_t n, int steps) {
         0, std::vector<std::int64_t>{n / 2 - 1, n / 2 - 1, n / 2 - 1},
         std::vector<std::int64_t>{n / 2 + 1, n / 2 + 1, n / 2 + 1}, 1.0F);
     auto op = model.make_operator({});
-    op->apply(0, steps - 1, model.scalars(model.critical_dt()));
+    op->apply({.time_m = 0, .time_M = steps - 1,
+               .scalars = model.scalars(model.critical_dt())});
     const int nb = model.wavefield().time_buffers();
     expected = model.wavefield().gather(steps % nb);
   }
@@ -281,7 +284,8 @@ void run_3d_equivalence(ir::MpiMode mode, int so, std::int64_t n, int steps) {
     ir::CompileOptions opts;
     opts.mode = mode;
     auto op = model.make_operator(opts);
-    op->apply(0, steps - 1, model.scalars(model.critical_dt()));
+    op->apply({.time_m = 0, .time_M = steps - 1,
+               .scalars = model.scalars(model.critical_dt())});
     const int nb = model.wavefield().time_buffers();
     const auto got = model.wavefield().gather(steps % nb);
     if (comm.rank() == 0) {
@@ -318,10 +322,10 @@ TEST(Models, ViscoelasticEnergyDecaysOverTime) {
   const double dt = model.critical_dt();
   auto op = model.make_operator({});
   // Start at time 0 so the first step's now() reads buffer 0 (the fill).
-  op->apply(0, 29, model.scalars(dt));
+  op->apply({.time_m = 0, .time_M = 29, .scalars = model.scalars(dt)});
   const double e30 = model.field_energy(29);
   EXPECT_GT(e30, 0.0);
-  op->apply(30, 119, model.scalars(dt));
+  op->apply({.time_m = 30, .time_M = 119, .scalars = model.scalars(dt)});
   const double e120 = model.field_energy(119);
   EXPECT_TRUE(std::isfinite(e120));
   EXPECT_LT(e120, e30);

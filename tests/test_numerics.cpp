@@ -42,7 +42,7 @@ double laplacian_error(std::int64_t n, int so) {
     lap += sym::diff(f(), d, 2, so);
   }
   Operator op({ir::Eq(out.forward(), lap)});
-  op.apply(0, 0, {});
+  op.apply({.time_m = 0, .time_M = 0});
 
   double max_err = 0.0;
   // Skip points whose stencil reads ghost values (radius so/2).
@@ -103,7 +103,7 @@ TEST(OneDimensional, DiffusionEndToEnd) {
   Operator op({ir::Eq(u.forward(), sym::solve(pde, sym::Ex(0), u.forward()))});
   const double h = g.spacing(0);
   const double dt = 0.4 * h * h;  // Stable explicit diffusion step.
-  op.apply(0, 49, {{"dt", dt}});
+  op.apply({.time_m = 0, .time_M = 49, .scalars = {{"dt", dt}}});
   const auto data = u.gather(50 % 2);
   // Mass spreads but the total decreases only via the boundaries.
   double mass = 0.0;
@@ -134,7 +134,7 @@ TEST(OneDimensional, DistributedMatchesSerial) {
     const sym::Ex pde = u.dt() - sym::diff(u.now(), 0, 2, 4);
     Operator op(
         {ir::Eq(u.forward(), sym::solve(pde, sym::Ex(0), u.forward()))});
-    op.apply(0, steps - 1, {{"dt", 1e-4}});
+    op.apply({.time_m = 0, .time_M = steps - 1, .scalars = {{"dt", 1e-4}}});
     expected = u.gather(steps % 2);
   }
   smpi::run(3, [&](smpi::Communicator& comm) {
@@ -147,7 +147,7 @@ TEST(OneDimensional, DistributedMatchesSerial) {
     Operator op({ir::Eq(u.forward(), sym::solve(pde, sym::Ex(0),
                                                 u.forward()))},
                 opts);
-    op.apply(0, steps - 1, {{"dt", 1e-4}});
+    op.apply({.time_m = 0, .time_M = steps - 1, .scalars = {{"dt", 1e-4}}});
     const auto got = u.gather(steps % 2);
     if (comm.rank() == 0) {
       for (std::size_t i = 0; i < got.size(); ++i) {
@@ -168,7 +168,7 @@ TEST(Stability, AcousticAtCflLimitStaysBoundedFor500Steps) {
   Operator op({ir::Eq(u.forward(), sym::solve(pde, sym::Ex(0), u.forward()))});
   const double h = g.spacing(0);
   const double dt = 0.5 * h / std::sqrt(2.0);  // ~70% of the 2D CFL bound.
-  op.apply(1, 500, {{"dt", dt}});
+  op.apply({.time_m = 1, .time_M = 500, .scalars = {{"dt", dt}}});
   EXPECT_TRUE(std::isfinite(u.norm2((501) % 3)));
   EXPECT_LT(u.norm2(501 % 3), 1.0);
 }

@@ -43,10 +43,11 @@ std::vector<float> run_diffusion(const Grid& g, ir::CompileOptions opts,
   const std::vector<std::int64_t> hi{g.shape()[0] - 1, g.shape()[1] - 1};
   d.u.fill_global_box(0, lo, hi, 1.0F);
   Operator op({d.eq}, opts);
-  op.set_backend(backend);
-  op.apply(0, steps - 1, {{"dt", dt}});
+  op.set_default_backend(backend);
+  const auto run = op.apply(
+      {.time_m = 0, .time_M = steps - 1, .scalars = {{"dt", dt}}});
   if (stats != nullptr) {
-    *stats = op.halo_stats();
+    *stats = run.halo;
   }
   return d.u.gather(steps % d.u.time_buffers());
 }
@@ -78,15 +79,19 @@ TEST(Operator, UnboundScalarThrows) {
   const Grid g({4, 4}, {1.0, 1.0});
   Diffusion d(g);
   Operator op({d.eq});
-  EXPECT_THROW(op.apply(0, 0, {}), std::invalid_argument);  // dt missing.
+  EXPECT_THROW(op.apply({.time_m = 0, .time_M = 0}),
+               std::invalid_argument);  // dt missing.
 }
 
 TEST(Operator, PointsUpdatedTracksGptsNumerator) {
   const Grid g({8, 8}, {1.0, 1.0});
   Diffusion d(g);
   Operator op({d.eq});
-  op.apply(0, 4, {{"dt", 1e-3}});
-  EXPECT_EQ(op.points_updated(), 64 * 5);
+  const auto run = op.apply(
+      {.time_m = 0, .time_M = 4, .scalars = {{"dt", 1e-3}}});
+  EXPECT_EQ(run.points_updated, 64 * 5);
+  EXPECT_EQ(run.steps, 5);
+  EXPECT_GT(run.gpts_per_s, 0.0);
 }
 
 class ModeEquivalence
@@ -140,7 +145,7 @@ TEST(Operator, HigherOrderStencilAcrossRanks) {
     Operator op({ir::Eq(
         u.forward(),
         sym::solve(u.dt() - u.laplace(), sym::Ex(0), u.forward()))});
-    op.apply(0, steps - 1, {{"dt", dt}});
+    op.apply({.time_m = 0, .time_M = steps - 1, .scalars = {{"dt", dt}}});
     expected = u.gather(steps % 2);
   }
 
@@ -157,7 +162,8 @@ TEST(Operator, HigherOrderStencilAcrossRanks) {
       Operator op({ir::Eq(u.forward(), sym::solve(u.dt() - u.laplace(),
                                                   sym::Ex(0), u.forward()))},
                   opts);
-      op.apply(0, steps - 1, {{"dt", dt}});
+      op.apply({.time_m = 0, .time_M = steps - 1,
+                .scalars = {{"dt", dt}}});
       const auto got = u.gather(steps % 2);
       if (comm.rank() == 0) {
         for (std::size_t i = 0; i < got.size(); ++i) {
@@ -182,7 +188,7 @@ TEST(Operator, SecondOrderInTimeBufferCycling) {
   const double c = 1e-3;
   Operator op({ir::Eq(u.forward(),
                       2 * u.now() - u.backward() + sym::Ex(c) * u.laplace())});
-  op.apply(1, 6, {});
+  op.apply({.time_m = 1, .time_M = 6});
 
   // Reference recurrence on dense arrays.
   const double h = g.spacing(0);
@@ -262,7 +268,7 @@ TEST(Operator, CoupledFirstOrderSystemDistributed) {
         s.forward(),
         s.now() + dts * sym::diff_stag(v.forward(), 0, 4, +1));
     Operator op({eq1, eq2}, opts);
-    op.apply(0, steps - 1, {{"dt", dt}});
+    op.apply({.time_m = 0, .time_M = steps - 1, .scalars = {{"dt", dt}}});
     return std::pair{v.gather(steps % 2), s.gather(steps % 2)};
   };
 
@@ -322,6 +328,24 @@ TEST(Operator, DescribeReportsCompilationSummary) {
       EXPECT_NE(s.find("flops/point:"), std::string::npos);
     }
   });
+}
+
+TEST(Operator, DeprecatedPositionalApiStillWorks) {
+  // Regression coverage for the pre-ApplyArgs surface: the positional
+  // apply(), set_backend() and the post-hoc accessors must keep working
+  // (and agreeing with the new per-run RunSummary) until removal.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const Grid g({8, 8}, {1.0, 1.0});
+  Diffusion d(g);
+  Operator op({d.eq});
+  op.set_backend(Operator::Backend::Interpret);
+  EXPECT_EQ(op.backend(), Operator::Backend::Interpret);
+  op.apply(0, 4, {{"dt", 1e-3}});
+  EXPECT_EQ(op.points_updated(), 64 * 5);
+  EXPECT_EQ(op.halo_stats().messages, 0U);  // Serial grid: no exchanges.
+  EXPECT_FALSE(op.jit_cache_hit());
+#pragma GCC diagnostic pop
 }
 
 TEST(Operator, HaloStatsMatchTableOneMessageCounts) {

@@ -56,7 +56,7 @@ TEST(Save, HistoryMatchesModuloRunStepByStep) {
                      std::vector<std::int64_t>{10, 10}, 1.0F);
   Operator ops({ir::Eq(us.forward(), sym::solve(us.dt() - us.laplace(),
                                                 sym::Ex(0), us.forward()))});
-  ops.apply(0, steps - 1, {{"dt", dt}});
+  ops.apply({.time_m = 0, .time_M = steps - 1, .scalars = {{"dt", dt}}});
 
   // Modulo run, snapshotting after every step.
   const Grid g2({n, n}, {1.0, 1.0});
@@ -66,7 +66,7 @@ TEST(Save, HistoryMatchesModuloRunStepByStep) {
   Operator opm({ir::Eq(um.forward(), sym::solve(um.dt() - um.laplace(),
                                                 sym::Ex(0), um.forward()))});
   for (int t = 0; t < steps; ++t) {
-    opm.apply(t, t, {{"dt", dt}});
+    opm.apply({.time_m = t, .time_M = t, .scalars = {{"dt", dt}}});
     const auto expected = um.gather((t + 1) % 2);
     const auto got = us.gather(t + 1);
     ASSERT_EQ(got.size(), expected.size());
@@ -94,8 +94,8 @@ TEST(Save, JitBackendWritesAbsoluteIndices) {
       << op.ccode();
   EXPECT_NE(op.ccode().find("const long ts_p1 = time + 1;"),
             std::string::npos);
-  op.set_backend(Operator::Backend::Jit);
-  op.apply(0, steps - 1, {{"dt", 1e-3}});
+  op.set_default_backend(Operator::Backend::Jit);
+  op.apply({.time_m = 0, .time_M = steps - 1, .scalars = {{"dt", 1e-3}}});
   // Mass is conserved per stored step (interior plateau, no boundary
   // leakage in this window), and history is non-trivial.
   double mass0 = 0.0;
@@ -123,7 +123,7 @@ TEST(Save, DistributedSavedHistoryMatchesSerial) {
                       std::vector<std::int64_t>{8, 8}, 1.0F);
     Operator op({ir::Eq(u.forward(), sym::solve(u.dt() - u.laplace(),
                                                 sym::Ex(0), u.forward()))});
-    op.apply(0, steps - 1, {{"dt", dt}});
+    op.apply({.time_m = 0, .time_M = steps - 1, .scalars = {{"dt", dt}}});
     for (int t = 0; t <= steps; ++t) {
       expected.push_back(u.gather(t));
     }
@@ -138,7 +138,7 @@ TEST(Save, DistributedSavedHistoryMatchesSerial) {
     Operator op({ir::Eq(u.forward(), sym::solve(u.dt() - u.laplace(),
                                                 sym::Ex(0), u.forward()))},
                 opts);
-    op.apply(0, steps - 1, {{"dt", dt}});
+    op.apply({.time_m = 0, .time_M = steps - 1, .scalars = {{"dt", dt}}});
     for (int t = 0; t <= steps; ++t) {
       const auto got = u.gather(t);
       if (comm.rank() == 0) {

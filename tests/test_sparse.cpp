@@ -237,7 +237,7 @@ TEST(SparseInOperator, SourceDrivenWavePropagatesIdenticallyAcrossModes) {
                         sym::solve(u.dt2() - c2 * u.laplace(), sym::Ex(0),
                                    u.forward()))},
                 opts, {&inj, &interp});
-    op.apply(1, steps, {{"dt", dt}});
+    op.apply({.time_m = 1, .time_M = steps, .scalars = {{"dt", dt}}});
     rec_out = interp.assemble();
     return u.gather((steps + 1) % 3);
   };

@@ -1,0 +1,70 @@
+// trace_check: CI gate validating a Chrome trace-event JSON file
+// produced by the obs subsystem (examples/quickstart --trace=..., or any
+// RunSummary::trace.write_chrome()).
+//
+//   trace_check <trace.json> [--min-ranks N] [--min-events N]
+//
+// Exits 0 when the file parses as JSON, satisfies the trace-event
+// schema, and meets the optional rank/event floors; prints the first
+// violation and exits 1 otherwise.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/json_check.h"
+
+int main(int argc, char** argv) {
+  std::string path;
+  int min_ranks = 1;
+  long min_events = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--min-ranks" && i + 1 < argc) {
+      min_ranks = std::atoi(argv[++i]);
+    } else if (arg == "--min-events" && i + 1 < argc) {
+      min_events = std::atol(argv[++i]);
+    } else if (path.empty() && arg[0] != '-') {
+      path = arg;
+    } else {
+      std::cerr << "usage: trace_check <trace.json> [--min-ranks N] "
+                   "[--min-events N]\n";
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::cerr << "trace_check: no input file\n";
+    return 2;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "trace_check: cannot open " << path << '\n';
+    return 1;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string json = ss.str();
+
+  const jitfd::obs::ChromeCheck check =
+      jitfd::obs::validate_chrome_trace(json);
+  if (!check.ok) {
+    std::cerr << "trace_check: " << path << ": " << check.error << '\n';
+    return 1;
+  }
+  if (static_cast<int>(check.tids.size()) < min_ranks) {
+    std::cerr << "trace_check: " << path << ": expected >= " << min_ranks
+              << " rank tracks, found " << check.tids.size() << '\n';
+    return 1;
+  }
+  if (check.events < min_events) {
+    std::cerr << "trace_check: " << path << ": expected >= " << min_events
+              << " events, found " << check.events << '\n';
+    return 1;
+  }
+  std::cout << "trace_check: " << path << ": ok (" << check.events
+            << " events, " << check.complete << " spans, " << check.instants
+            << " instants, " << check.tids.size() << " rank tracks)\n";
+  return 0;
+}
