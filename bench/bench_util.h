@@ -1,9 +1,13 @@
 // Shared helpers for the table/figure regenerator benchmarks.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <map>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "perfmodel/paper_data.h"
@@ -59,6 +63,84 @@ inline void print_row_pair(const char* label,
     }
     std::printf("\n");
   }
+}
+
+/// One measured configuration: N repetitions of the same run plus exact
+/// counters (message counts etc.) that do not vary between repetitions.
+struct MeasuredSeries {
+  std::string name;              ///< e.g. "full/k4".
+  std::vector<double> seconds;   ///< Wall seconds, one per repetition.
+  std::map<std::string, double> counters;
+};
+
+inline double median_of(std::vector<double> v) {
+  if (v.empty()) {
+    return 0.0;
+  }
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+/// Relative spread (max - min) / median, in percent. The honesty metric
+/// committed next to every median: large spreads mean the machine was
+/// noisy and the median is soft.
+inline double spread_pct_of(const std::vector<double>& v) {
+  const double med = median_of(v);
+  if (v.empty() || med <= 0.0) {
+    return 0.0;
+  }
+  const auto [lo, hi] = std::minmax_element(v.begin(), v.end());
+  return 100.0 * (*hi - *lo) / med;
+}
+
+inline void json_number(std::ostringstream& os, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  os << buf;
+}
+
+/// Machine-readable report for a measured benchmark: median-of-N wall
+/// time + spread per series, the machine fields needed to interpret the
+/// numbers, and free-form string metadata. This is the shared emitter
+/// behind the committed BENCH_*.json artifacts.
+inline std::string series_json(
+    const std::string& benchmark, const std::string& description,
+    const std::vector<MeasuredSeries>& rows,
+    const std::vector<std::pair<std::string, std::string>>& meta = {}) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"benchmark\": \"" << benchmark << "\",\n";
+  os << "  \"description\": \"" << description << "\",\n";
+  os << "  \"machine\": {\n";
+  os << "    \"threads_available\": " << std::thread::hardware_concurrency()
+     << ",\n";
+#if defined(__VERSION__)
+  os << "    \"compiler\": \"" << __VERSION__ << "\",\n";
+#endif
+  os << "    \"pointer_bits\": " << 8 * sizeof(void*) << "\n";
+  os << "  },\n";
+  for (const auto& [key, value] : meta) {
+    os << "  \"" << key << "\": \"" << value << "\",\n";
+  }
+  os << "  \"series\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const MeasuredSeries& s = rows[i];
+    os << "    {\n";
+    os << "      \"name\": \"" << s.name << "\",\n";
+    os << "      \"repetitions\": " << s.seconds.size() << ",\n";
+    os << "      \"median_seconds\": ";
+    json_number(os, median_of(s.seconds));
+    os << ",\n      \"spread_pct\": ";
+    json_number(os, spread_pct_of(s.seconds));
+    for (const auto& [key, value] : s.counters) {
+      os << ",\n      \"" << key << "\": ";
+      json_number(os, value);
+    }
+    os << "\n    }" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
 }
 
 }  // namespace benchutil

@@ -183,8 +183,13 @@ class Emitter {
   void emit_loop(const ir::Node& n, bool in_core) {
     const auto d = static_cast<std::size_t>(n.dim);
     const std::int64_t size = grid_->local_shape()[d];
-    const std::int64_t lo = n.lo.resolve(size);
-    const std::int64_t hi = n.hi.resolve(size);
+    // Bounds are baked per rank (each rank emits its own kernel), so the
+    // per-side ghost extension of communication-avoiding stepping resolves
+    // here against this rank's neighbour topology.
+    const std::int64_t lo =
+        n.lo.resolve_lo(size, grid_->has_neighbor_low(n.dim));
+    const std::int64_t hi =
+        n.hi.resolve_hi(size, grid_->has_neighbor_high(n.dim));
     const std::string v = dim_var(n.dim);
 
     if (n.props.parallel && opts_->openmp) {
@@ -359,20 +364,63 @@ std::string Emitter::run(const ir::NodePtr& iet) {
       }
       continue;
     }
-    line("for (long time = time_m; time <= time_M; time += 1)");
+    const auto emit_tvars = [&] {
+      for (const auto& [nb, k, is_saved] : tvars) {
+        if (is_saved) {
+          line("const long " + time_var(nb, k, true) + " = time + " +
+               std::to_string(k) + ";");
+        } else {
+          line("const long " + time_var(nb, k, false) + " = (time + " +
+               std::to_string(nb + k) + ") % " + std::to_string(nb) + ";");
+        }
+      }
+    };
+    if (top->time_stride <= 1) {
+      line("for (long time = time_m; time <= time_M; time += 1)");
+      line("{");
+      ++indent_;
+      emit_tvars();
+      for (const ir::NodePtr& child : top->body) {
+        emit_node(*child, /*in_core=*/false);
+      }
+      --indent_;
+      line("}");
+      continue;
+    }
+    // Communication-avoiding strips: one exchange per strip of
+    // time_stride sub-steps; shifted sub-steps are guarded against
+    // running past time_M on the final (partial) strip.
+    line("for (long strip_t = time_m; strip_t <= time_M; strip_t += " +
+         std::to_string(top->time_stride) + ")");
     line("{");
     ++indent_;
-    for (const auto& [nb, k, is_saved] : tvars) {
-      if (is_saved) {
-        line("const long " + time_var(nb, k, true) + " = time + " +
-             std::to_string(k) + ";");
-      } else {
-        line("const long " + time_var(nb, k, false) + " = (time + " +
-             std::to_string(nb + k) + ") % " + std::to_string(nb) + ";");
-      }
-    }
     for (const ir::NodePtr& child : top->body) {
-      emit_node(*child, /*in_core=*/false);
+      if (child->type == ir::NodeType::HaloComm) {
+        line("{");
+        ++indent_;
+        line("const long time = strip_t;");
+        emit_node(*child, /*in_core=*/false);
+        --indent_;
+        line("}");
+        continue;
+      }
+      line("/* sub-step " + std::to_string(child->time_shift) + " */");
+      if (child->time_shift > 0) {
+        line("if (strip_t + " + std::to_string(child->time_shift) +
+             " <= time_M)");
+      }
+      line("{");
+      ++indent_;
+      line(child->time_shift > 0
+               ? "const long time = strip_t + " +
+                     std::to_string(child->time_shift) + ";"
+               : "const long time = strip_t;");
+      emit_tvars();
+      for (const ir::NodePtr& inner : child->body) {
+        emit_node(*inner, /*in_core=*/false);
+      }
+      --indent_;
+      line("}");
     }
     --indent_;
     line("}");

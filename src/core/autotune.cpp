@@ -70,32 +70,48 @@ std::unique_ptr<Operator> autotune_operator(
   bool first = true;
   for (const ir::MpiMode mode :
        {ir::MpiMode::Basic, ir::MpiMode::Diagonal, ir::MpiMode::Full}) {
-    ir::CompileOptions trial_opts = opts;
-    trial_opts.mode = mode;
-    // Trials run without the sparse operations: their cost is
-    // pattern-independent and some (receiver interpolation) accumulate
-    // externally visible records that must not be polluted.
-    Operator trial(eqs, trial_opts);
-    comm.barrier();
-    const auto start = std::chrono::steady_clock::now();
-    trial.apply({.time_m = time_m,
-                 .time_M = time_m + trial_steps - 1,
-                 .scalars = scalars});
-    std::vector<double> elapsed{std::chrono::duration<double>(
-                                    std::chrono::steady_clock::now() - start)
-                                    .count()};
-    // The slowest rank gates a synchronous time step.
-    comm.allreduce(std::span<double>(elapsed), smpi::ReduceOp::Max);
-    local_report.seconds[mode] = elapsed[0];
-    if (first || elapsed[0] < best_seconds) {
-      first = false;
-      best_seconds = elapsed[0];
-      local_report.best = mode;
+    for (const int depth : {1, 2, 4}) {
+      ir::CompileOptions trial_opts = opts;
+      trial_opts.mode = mode;
+      trial_opts.exchange_depth = depth;
+      // Trials run without the sparse operations: their cost is
+      // pattern-independent and some (receiver interpolation) accumulate
+      // externally visible records that must not be polluted.
+      Operator trial(eqs, trial_opts);
+      if (trial.info().exchange_depth != depth) {
+        // The compiler clamped this depth (identically on every rank:
+        // clamping depends only on equations, topology and halo
+        // capacity), so the trial would duplicate a shallower one.
+        continue;
+      }
+      comm.barrier();
+      const auto start = std::chrono::steady_clock::now();
+      trial.apply({.time_m = time_m,
+                   .time_M = time_m + trial_steps - 1,
+                   .scalars = scalars});
+      std::vector<double> elapsed{std::chrono::duration<double>(
+                                      std::chrono::steady_clock::now() - start)
+                                      .count()};
+      // The slowest rank gates a synchronous time step.
+      comm.allreduce(std::span<double>(elapsed), smpi::ReduceOp::Max);
+      local_report.seconds_by_depth[{mode, depth}] = elapsed[0];
+      const auto mode_it = local_report.seconds.find(mode);
+      if (mode_it == local_report.seconds.end() ||
+          elapsed[0] < mode_it->second) {
+        local_report.seconds[mode] = elapsed[0];
+      }
+      if (first || elapsed[0] < best_seconds) {
+        first = false;
+        best_seconds = elapsed[0];
+        local_report.best = mode;
+        local_report.best_depth = depth;
+      }
+      restore();
     }
-    restore();
   }
 
   opts.mode = local_report.best;
+  opts.exchange_depth = local_report.best_depth;
   if (report != nullptr) {
     *report = local_report;
   }

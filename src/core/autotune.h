@@ -13,6 +13,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/operator.h"
@@ -21,18 +22,27 @@ namespace jitfd::core {
 
 struct AutotuneReport {
   ir::MpiMode best = ir::MpiMode::Basic;
-  /// Measured seconds per trial (per pattern, slowest rank).
+  /// Winning exchange depth (1 unless a communication-avoiding trial won).
+  int best_depth = 1;
+  /// Measured seconds per pattern (slowest rank, best over trialled
+  /// exchange depths).
   std::map<ir::MpiMode, double> seconds;
+  /// Full (pattern, exchange depth) -> seconds trial grid. Depths whose
+  /// request was clamped by the compiler (insufficient halo capacity,
+  /// sparse ops, ...) are skipped as duplicates of depth 1.
+  std::map<std::pair<ir::MpiMode, int>, double> seconds_by_depth;
   int trial_steps = 0;
 };
 
-/// Build an Operator for `eqs` with the fastest communication pattern.
+/// Build an Operator for `eqs` with the fastest communication pattern
+/// and exchange depth.
 ///
-/// `opts.mode` is ignored; Basic, Diagonal and Full are trialled for
-/// `trial_steps` steps each (using `scalars` for the symbol bindings,
-/// starting at time step `time_m`). On serial grids no trials run and
-/// the mode stays None. The chosen operator is returned fresh (trial
-/// side effects on field data are rolled back).
+/// `opts.mode` and `opts.exchange_depth` are ignored; every pattern in
+/// {Basic, Diagonal, Full} is trialled jointly with exchange depths
+/// {1, 2, 4} for `trial_steps` steps each (using `scalars` for the
+/// symbol bindings, starting at time step `time_m`). On serial grids no
+/// trials run and the mode stays None. The chosen operator is returned
+/// fresh (trial side effects on field data are rolled back).
 std::unique_ptr<Operator> autotune_operator(
     const std::vector<ir::Eq>& eqs, ir::CompileOptions opts,
     const std::map<std::string, double>& scalars, std::int64_t time_m = 0,

@@ -110,6 +110,7 @@ Operator::Operator(std::vector<ir::Eq> eqs, ir::CompileOptions opts,
     const obs::Span span("compile.register_spots", obs::Cat::Compile,
                          static_cast<std::int64_t>(info_.spots.size()));
     halo_ = std::make_unique<runtime::HaloExchange>(*grid_, opts_.mode);
+    halo_->set_exchange_depth(info_.exchange_depth);
     for (const ir::SpotInfo& spot : info_.spots) {
       halo_->register_spot(spot, fields_);
     }
@@ -138,6 +139,15 @@ std::string Operator::describe() const {
     os << "), mode " << ir::to_string(opts_.mode);
   } else {
     os << ", serial";
+  }
+  if (info_.exchange_depth > 1) {
+    os << ", exchange depth " << info_.exchange_depth;
+    if (!info_.exchange_depth_clamp_reason.empty()) {
+      os << " (clamped: " << info_.exchange_depth_clamp_reason << ")";
+    }
+  } else if (!info_.exchange_depth_clamp_reason.empty()) {
+    os << ", exchange depth 1 (clamped: "
+       << info_.exchange_depth_clamp_reason << ")";
   }
   os << "\n  fields:";
   for (const grid::Function* f : fields_.all()) {
@@ -248,8 +258,7 @@ RunSummary Operator::apply(const ApplyArgs& args) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
 
-  points_updated_ = grid_->points() * out.steps;
-  out.points_updated = points_updated_;
+  out.points_updated = grid_->points() * out.steps;
   if (out.seconds > 0.0) {
     out.gpts_per_s =
         static_cast<double>(out.points_updated) / out.seconds / 1e9;
@@ -260,13 +269,6 @@ RunSummary Operator::apply(const ApplyArgs& args) {
     out.jit_cache_hit = jit_cache_hit_;
   }
   return out;
-}
-
-void Operator::apply(std::int64_t time_m, std::int64_t time_M,
-                     std::map<std::string, double> scalars) {
-  apply(ApplyArgs{.time_m = time_m,
-                  .time_M = time_M,
-                  .scalars = std::move(scalars)});
 }
 
 void Operator::run_jit(std::int64_t time_m, std::int64_t time_M,

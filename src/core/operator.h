@@ -14,9 +14,6 @@
 //                        .backend = core::Backend::Jit,
 //                        .trace = true});
 //   std::cout << run.gpts_per_s << '\n' << run.trace.summary();
-//
-// The positional apply()/set_backend() API from earlier revisions still
-// compiles but is deprecated.
 #pragma once
 
 #include <cstdint>
@@ -100,23 +97,9 @@ class Operator {
   /// Execute time steps args.time_m..args.time_M (inclusive).
   RunSummary apply(const ApplyArgs& args = {});
 
-  [[deprecated("use apply(ApplyArgs) — op.apply({.time_m = ..., .time_M = "
-               "..., .scalars = ...})")]]
-  void apply(std::int64_t time_m, std::int64_t time_M,
-             std::map<std::string, double> scalars = {});
-
   /// Default backend for runs that don't set ApplyArgs::backend.
   void set_default_backend(Backend b) { backend_ = b; }
   Backend default_backend() const { return backend_; }
-
-  [[deprecated("use set_default_backend(), or per-run ApplyArgs::backend")]]
-  void set_backend(Backend b) {
-    backend_ = b;
-  }
-  [[deprecated("use default_backend()")]]
-  Backend backend() const {
-    return backend_;
-  }
 
   /// Compiler products, for inspection, tests and benchmarks.
   const ir::LoweringInfo& info() const { return info_; }
@@ -128,23 +111,6 @@ class Operator {
   /// Human-readable compilation report (the DEVITO_LOGGING=DEBUG
   /// analogue): fields, pattern, clusters, halo spots, flop counts.
   std::string describe() const;
-
-  [[deprecated("use the per-run RunSummary::halo from apply()")]]
-  runtime::HaloStats halo_stats() const {
-    return cumulative_halo_stats();
-  }
-  [[deprecated("use RunSummary::jit_compile_seconds")]]
-  double jit_compile_seconds() const {
-    return jit_compile_seconds_;
-  }
-  [[deprecated("use RunSummary::jit_cache_hit")]]
-  bool jit_cache_hit() const {
-    return jit_cache_hit_;
-  }
-  [[deprecated("use RunSummary::points_updated")]]
-  std::int64_t points_updated() const {
-    return points_updated_;
-  }
 
  private:
   runtime::HaloStats cumulative_halo_stats() const;
@@ -164,7 +130,6 @@ class Operator {
   std::unique_ptr<codegen::JitKernel> jit_;
   double jit_compile_seconds_ = 0.0;
   bool jit_cache_hit_ = false;
-  std::int64_t points_updated_ = 0;
 };
 
 }  // namespace jitfd::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <cstdlib>
 #include <numeric>
 #include <stdexcept>
 
@@ -27,6 +28,15 @@ std::map<int, Function*>& registry() {
   return r;
 }
 
+std::atomic<int>& exchange_depth_default() {
+  static std::atomic<int> depth{[] {
+    const char* env = std::getenv("JITFD_EXCHANGE_DEPTH");
+    const int v = env != nullptr ? std::atoi(env) : 1;
+    return v > 1 ? v : 1;
+  }()};
+  return depth;
+}
+
 // Reserved user-channel tag for Function::gather traffic, far above the
 // halo-exchange tag space. A single fixed tag suffices: gathers are
 // collective (all ranks call in the same program order) and the mailbox
@@ -46,6 +56,7 @@ Function::Function(std::string name, const Grid& grid, int space_order,
                    int padding, bool time_varying, int buffers, bool saved)
     : grid_(&grid),
       space_order_(space_order),
+      halo_(space_order * default_exchange_depth()),
       padding_(padding),
       buffers_(buffers),
       saved_(saved) {
@@ -97,6 +108,18 @@ int Function::buffer_index(int time_offset, std::int64_t time) const {
   }
   const int nb = buffers_;
   return static_cast<int>((((time + time_offset) % nb) + nb) % nb);
+}
+
+void Function::set_default_exchange_depth(int depth) {
+  if (depth < 1) {
+    throw std::invalid_argument(
+        "Function::set_default_exchange_depth: depth must be >= 1");
+  }
+  exchange_depth_default().store(depth);
+}
+
+int Function::default_exchange_depth() {
+  return exchange_depth_default().load();
 }
 
 Function* lookup_field(int field_id) {

@@ -44,12 +44,23 @@ class Function {
   const sym::FieldId& field_id() const { return id_; }
   const Grid& grid() const { return *grid_; }
   int space_order() const { return space_order_; }
-  /// Halo width per side (== space_order, the Devito default the paper's
-  /// alignment example relies on).
-  int halo() const { return space_order_; }
+  /// Halo width per side. space_order (the Devito default the paper's
+  /// alignment example relies on) when the process-wide exchange-depth
+  /// capacity is 1; space_order * capacity when a deeper default was set
+  /// (communication-avoiding stepping needs k stencil radii per fused
+  /// step chain — see default_exchange_depth()).
+  int halo() const { return halo_; }
   int padding() const { return padding_; }
   /// Total left offset from the raw allocation to the data region.
-  int lpad() const { return space_order_ + padding_; }
+  int lpad() const { return halo_ + padding_; }
+
+  /// Process-wide default halo capacity for communication-avoiding
+  /// (exchange_depth > 1) stepping, read at construction time: fields
+  /// allocate halo = space_order * depth per side. Initialized from the
+  /// JITFD_EXCHANGE_DEPTH environment variable (default 1); the setter
+  /// affects only Functions constructed afterwards.
+  static void set_default_exchange_depth(int depth);
+  static int default_exchange_depth();
   /// Number of time buffers (1 for plain Functions).
   virtual int time_buffers() const { return 1; }
 
@@ -153,6 +164,7 @@ class Function {
   sym::FieldId id_;
   const Grid* grid_;
   int space_order_;
+  int halo_;
   int padding_;
   int buffers_;
   bool saved_ = false;

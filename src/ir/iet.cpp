@@ -39,8 +39,22 @@ NodePtr make_iteration(int dim, Bound lo, Bound hi, LoopProps props,
 }
 
 NodePtr make_time_loop(std::vector<NodePtr> body) {
+  return make_time_loop(std::move(body), 1);
+}
+
+NodePtr make_time_loop(std::vector<NodePtr> body, std::int64_t stride) {
   Node n;
   n.type = NodeType::TimeLoop;
+  n.time_stride = stride;
+  n.body = std::move(body);
+  return finish(std::move(n));
+}
+
+NodePtr make_substep(std::int64_t shift, std::vector<NodePtr> body) {
+  Node n;
+  n.type = NodeType::Section;
+  n.name = "substep";
+  n.time_shift = shift;
   n.body = std::move(body);
   return finish(std::move(n));
 }
@@ -101,6 +115,10 @@ std::string bound_str(const Bound& b, int dim, bool is_hi) {
     }
     os << b.offset;
   }
+  if (b.ghost != 0) {
+    // Ghost-zone extension, applied only on sides with a neighbour.
+    os << (is_hi ? "+g" : "-g") << b.ghost;
+  }
   return os.str();
 }
 
@@ -116,7 +134,11 @@ void dump(std::ostringstream& os, const NodePtr& node, int indent) {
          << n.value.to_string() << ">\n";
       return;
     case NodeType::TimeLoop:
-      os << pad << "<[affine,sequential] Iteration time>\n";
+      os << pad << "<[affine,sequential] Iteration time";
+      if (n.time_stride > 1) {
+        os << " stride " << n.time_stride;
+      }
+      os << ">\n";
       break;
     case NodeType::Iteration: {
       os << pad << "<[affine";
@@ -162,7 +184,11 @@ void dump(std::ostringstream& os, const NodePtr& node, int indent) {
       os << pad << "<SparseOp " << n.sparse_id << ">\n";
       return;
     case NodeType::Section:
-      os << pad << "<Section " << n.name << ">\n";
+      os << pad << "<Section " << n.name;
+      if (n.name == "substep") {
+        os << " t+" << n.time_shift;
+      }
+      os << ">\n";
       break;
   }
   for (const NodePtr& child : n.body) {

@@ -23,15 +23,30 @@ namespace jitfd::ir {
 /// where size_of(dim) is the rank-local owned extent of the dimension.
 /// Examples: DOMAIN is [A(0), S(0)); CORE is [A(w), S(-w)); the high-side
 /// remainder slab is [S(-w), S(0)).
+///
+/// `ghost` is the communication-avoiding extension (exchange_depth > 1):
+/// the bound grows into the ghost zone by `ghost` points, but only on
+/// sides that have a Cartesian neighbour — extending past a physical
+/// boundary would compute (and later read back) garbage ghost values.
+/// Lower bounds subtract the extension, upper bounds add it; consumers
+/// resolve via resolve_lo()/resolve_hi() with the per-side neighbour
+/// predicate of the executing rank.
 struct Bound {
   bool relative_to_size = false;
   std::int64_t offset = 0;
+  std::int64_t ghost = 0;
 
-  static Bound absolute(std::int64_t off) { return {false, off}; }
-  static Bound from_size(std::int64_t off) { return {true, off}; }
+  static Bound absolute(std::int64_t off) { return {false, off, 0}; }
+  static Bound from_size(std::int64_t off) { return {true, off, 0}; }
 
   std::int64_t resolve(std::int64_t size) const {
     return (relative_to_size ? size : 0) + offset;
+  }
+  std::int64_t resolve_lo(std::int64_t size, bool has_neighbor) const {
+    return resolve(size) - (has_neighbor ? ghost : 0);
+  }
+  std::int64_t resolve_hi(std::int64_t size, bool has_neighbor) const {
+    return resolve(size) + (has_neighbor ? ghost : 0);
   }
   friend bool operator==(const Bound&, const Bound&) = default;
 };
@@ -103,6 +118,13 @@ struct Node {
   // SparseOp:
   int sparse_id = -1;  ///< Runtime registration handle.
 
+  // TimeLoop: steps per iteration (exchange_depth; 1 = plain stepping).
+  std::int64_t time_stride = 1;
+  // Section "substep": time shift of this sub-step within a strip.
+  // Sub-steps with shift > 0 are guarded (skipped when the last strip is
+  // partial, i.e. strip_t + shift > time_M).
+  std::int64_t time_shift = 0;
+
   // Children (Callable, TimeLoop, Iteration, Section bodies).
   std::vector<NodePtr> body;
 };
@@ -114,6 +136,9 @@ NodePtr make_expression(sym::Ex target, sym::Ex value);
 NodePtr make_iteration(int dim, Bound lo, Bound hi, LoopProps props,
                        std::vector<NodePtr> body);
 NodePtr make_time_loop(std::vector<NodePtr> body);
+NodePtr make_time_loop(std::vector<NodePtr> body, std::int64_t stride);
+/// One sub-step of a communication-avoiding strip (Section "substep").
+NodePtr make_substep(std::int64_t shift, std::vector<NodePtr> body);
 NodePtr make_halo_spot(std::vector<HaloNeed> needs);
 NodePtr make_halo_comm(HaloCommKind kind, std::vector<HaloNeed> needs,
                        int spot_id);

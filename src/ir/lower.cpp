@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <map>
 #include <set>
 #include <stdexcept>
 
@@ -219,6 +220,263 @@ std::vector<HaloNeed> analyze_halos(std::vector<Cluster>& clusters,
   return hoisted;
 }
 
+/// Strip plan for communication-avoiding stepping (exchange_depth > 1).
+///
+/// One strip executes k sub-steps between halo exchanges. Every ghost
+/// value a sub-step reads must come either from the one exchange at the
+/// strip top (reads of buffers produced before the strip) or from a
+/// redundant in-strip ghost-zone write that is at least as deep as the
+/// read requires. The plan records the exchanges and the per-(sub-step,
+/// cluster) ghost extensions; plan_deep_halo() verifies both conditions
+/// computationally and fails (-> clamp to a shallower k) otherwise.
+struct DeepHaloPlan {
+  int k = 1;
+  std::vector<HaloNeed> strip_needs;  ///< Exchanged once at each strip top.
+  std::vector<HaloNeed> hoisted;      ///< Widened parameter-field hoists.
+  /// ext[j][c][d]: ghost-zone extension of cluster c at sub-step j.
+  std::vector<std::vector<std::vector<int>>> ext;
+  /// Per-cluster maximum read width (the full-mode CORE inset).
+  std::vector<std::vector<int>> width;
+};
+
+/// Try to build a depth-k strip plan. Extensions follow the chain rule:
+/// with per-cluster stale-propagating widths w_c (reads of time-varying
+/// fields only), W = sum_c w_c and suffix sums S_c = sum_{c'>c} w_c',
+/// cluster c at sub-step j computes ghost points to depth
+/// ext[j][c] = (k-1-j)*W + S_c — each consumer loses its own read width
+/// relative to its producers, so the last sub-step lands exactly on the
+/// owned region. Returns false (with a reason) when the plan would
+/// exceed allocated halos or read a ghost value nobody provides.
+bool plan_deep_halo(const std::vector<Cluster>& clusters,
+                    const grid::Grid& grid, bool halo_opt, int k,
+                    DeepHaloPlan& plan, std::string& why) {
+  const std::vector<int>& topo = grid.topology();
+  const int nd = grid.ndims();
+  const std::size_t nc = clusters.size();
+  const auto und = static_cast<std::size_t>(nd);
+
+  struct Read {
+    sym::FieldId field;
+    int off = 0;
+    std::vector<int> w;  ///< Per-dim width; zero on undecomposed dims.
+  };
+  struct Write {
+    int field = -1;
+    int off = 0;
+    std::size_t cluster = 0;
+  };
+  std::vector<std::vector<Read>> reads(nc);
+  std::vector<Write> writes;
+  for (std::size_t ci = 0; ci < nc; ++ci) {
+    const Cluster& c = clusters[ci];
+    std::vector<sym::Ex> rhss;
+    for (const Eq& eq : c.eqs) {
+      rhss.push_back(eq.rhs);
+    }
+    for (const sym::Temp& t : c.point_temps) {
+      rhss.push_back(t.value);
+    }
+    for (const ReadFootprint& fp : read_footprints(rhss)) {
+      for (const auto& [off, widths] : fp.widths_by_time) {
+        std::vector<int> eff(und, 0);
+        for (int d = 0; d < nd; ++d) {
+          const auto ud = static_cast<std::size_t>(d);
+          if (topo[ud] > 1) {
+            eff[ud] = widths[ud];
+          }
+        }
+        reads[ci].push_back(Read{fp.field, off, std::move(eff)});
+      }
+    }
+    for (const Eq& eq : c.eqs) {
+      if (!eq.write_field().time_varying) {
+        why = "time-invariant field '" + eq.write_field().name +
+              "' is written inside the time loop";
+        return false;
+      }
+      writes.push_back(Write{eq.write_field().id, eq.write_time_offset(), ci});
+    }
+  }
+
+  auto field_halo = [&](const sym::FieldId& f) {
+    const grid::Function* fn = grid::lookup_field(f.id);
+    return fn != nullptr ? fn->halo() : -1;
+  };
+
+  // Stale-propagating chain widths (time-varying reads only: parameter
+  // fields are refreshed to full depth up front and never go stale) and
+  // the per-cluster maximum over all reads (the full-mode CORE inset,
+  // which must dodge every in-flight receive).
+  std::vector<std::vector<int>> cw(nc, std::vector<int>(und, 0));
+  plan.width.assign(nc, std::vector<int>(und, 0));
+  for (std::size_t ci = 0; ci < nc; ++ci) {
+    for (const Read& r : reads[ci]) {
+      for (int d = 0; d < nd; ++d) {
+        const auto ud = static_cast<std::size_t>(d);
+        plan.width[ci][ud] = std::max(plan.width[ci][ud], r.w[ud]);
+        if (r.field.time_varying) {
+          cw[ci][ud] = std::max(cw[ci][ud], r.w[ud]);
+        }
+      }
+    }
+  }
+  std::vector<int> W(und, 0);
+  for (const auto& w : cw) {
+    for (int d = 0; d < nd; ++d) {
+      const auto ud = static_cast<std::size_t>(d);
+      W[ud] += w[ud];
+    }
+  }
+  std::vector<std::vector<int>> suffix(nc, std::vector<int>(und, 0));
+  for (std::size_t ci = nc; ci-- > 0;) {
+    if (ci + 1 < nc) {
+      for (int d = 0; d < nd; ++d) {
+        const auto ud = static_cast<std::size_t>(d);
+        suffix[ci][ud] = suffix[ci + 1][ud] + cw[ci + 1][ud];
+      }
+    }
+  }
+  plan.ext.assign(static_cast<std::size_t>(k), {});
+  for (int j = 0; j < k; ++j) {
+    auto& per_cluster = plan.ext[static_cast<std::size_t>(j)];
+    per_cluster.assign(nc, std::vector<int>(und, 0));
+    for (std::size_t ci = 0; ci < nc; ++ci) {
+      for (int d = 0; d < nd; ++d) {
+        const auto ud = static_cast<std::size_t>(d);
+        per_cluster[ci][ud] = (k - 1 - j) * W[ud] + suffix[ci][ud];
+      }
+    }
+  }
+
+  // Ghost-zone writes must fit the written field's allocated halo.
+  for (const Write& w : writes) {
+    const grid::Function* fn = grid::lookup_field(w.field);
+    if (fn == nullptr) {
+      why = "written field is not registered";
+      return false;
+    }
+    for (int d = 0; d < nd; ++d) {
+      const auto ud = static_cast<std::size_t>(d);
+      if (plan.ext[0][w.cluster][ud] > fn->halo()) {
+        why = "sub-step 0 writes " +
+              std::to_string(plan.ext[0][w.cluster][ud]) +
+              " ghost points of '" + fn->name() + "' but its halo is " +
+              std::to_string(fn->halo());
+        return false;
+      }
+    }
+  }
+
+  // Classify every read: strip-top exchange, hoisted parameter exchange,
+  // or in-strip redundant-write coverage.
+  std::map<std::pair<int, int>, HaloNeed> strip;  // (field, abs index) -> need
+  auto merge_need = [&](std::map<std::pair<int, int>, HaloNeed>& into,
+                        const sym::FieldId& f, int a,
+                        const std::vector<int>& depth) -> bool {
+    if (std::all_of(depth.begin(), depth.end(),
+                    [](int v) { return v == 0; })) {
+      return true;
+    }
+    const int cap = field_halo(f);
+    for (int v : depth) {
+      if (v > cap) {
+        why = "'" + f.name + "' needs exchange depth " + std::to_string(v) +
+              " but its allocated halo is " + std::to_string(cap) +
+              " (construct fields under a deeper default_exchange_depth)";
+        return false;
+      }
+    }
+    auto [it, fresh] = into.try_emplace({f.id, a}, HaloNeed{f.id, a, depth});
+    if (!fresh) {
+      for (std::size_t d = 0; d < depth.size(); ++d) {
+        it->second.widths[d] = std::max(it->second.widths[d], depth[d]);
+      }
+    }
+    return true;
+  };
+
+  std::map<std::pair<int, int>, HaloNeed> param_map;
+  for (std::size_t ci = 0; ci < nc; ++ci) {
+    for (const Read& r : reads[ci]) {
+      if (!r.field.time_varying) {
+        // Parameter field: one exchange at the maximum extension (sub-step
+        // 0) keeps it valid for the whole strip — and, once hoisted, for
+        // the whole run.
+        std::vector<int> depth(und, 0);
+        for (int d = 0; d < nd; ++d) {
+          const auto ud = static_cast<std::size_t>(d);
+          depth[ud] = r.w[ud] + plan.ext[0][ci][ud];
+        }
+        if (!merge_need(param_map, r.field, 0, depth)) {
+          return false;
+        }
+        continue;
+      }
+      for (int j = 0; j < k; ++j) {
+        const int a = j + r.off;  // Absolute buffer index vs the strip top.
+        std::vector<int> depth(und, 0);
+        for (int d = 0; d < nd; ++d) {
+          const auto ud = static_cast<std::size_t>(d);
+          depth[ud] =
+              r.w[ud] + plan.ext[static_cast<std::size_t>(j)][ci][ud];
+        }
+        if (a <= 0) {
+          // Produced before the strip: refresh at the strip top.
+          if (!merge_need(strip, r.field, a, depth)) {
+            return false;
+          }
+          continue;
+        }
+        // Produced inside the strip: some earlier write of the same
+        // buffer must reach at least as deep into the ghost zone.
+        bool covered = false;
+        for (const Write& w : writes) {
+          if (w.field != r.field.id) {
+            continue;
+          }
+          const int jw = a - w.off;
+          if (jw < 0 || jw >= k || jw > j ||
+              (jw == j && w.cluster > ci)) {
+            continue;
+          }
+          bool dominates = true;
+          for (int d = 0; d < nd; ++d) {
+            const auto ud = static_cast<std::size_t>(d);
+            if (plan.ext[static_cast<std::size_t>(jw)][w.cluster][ud] <
+                depth[ud]) {
+              dominates = false;
+              break;
+            }
+          }
+          if (dominates) {
+            covered = true;
+            break;
+          }
+        }
+        if (!covered) {
+          why = "sub-step " + std::to_string(j) + " reads '" + r.field.name +
+                "' at time offset " + std::to_string(r.off) +
+                " with no in-strip write deep enough to cover it";
+          return false;
+        }
+      }
+    }
+  }
+
+  for (auto& [key, need] : strip) {
+    plan.strip_needs.push_back(std::move(need));
+  }
+  for (auto& [key, need] : param_map) {
+    if (halo_opt) {
+      plan.hoisted.push_back(std::move(need));
+    } else {
+      plan.strip_needs.push_back(std::move(need));
+    }
+  }
+  plan.k = k;
+  return true;
+}
+
 LoopProps loop_props(int d, int ndims, const CompileOptions& opts,
                      bool allow_block) {
   LoopProps props;
@@ -258,16 +516,14 @@ std::vector<Bound> domain_hi(int nd) {
 }
 
 /// Full-mode split of a cluster into CORE plus 2 slabs per decomposed
-/// dimension (disjoint cover of DOMAIN \ CORE; see DESIGN.md).
+/// dimension (disjoint cover of (DOMAIN + ghost extension) \ CORE; see
+/// DESIGN.md). `w` is the CORE inset (the cluster's read width — CORE
+/// must not touch in-flight receives); `ext` is the communication-
+/// avoiding ghost extension carried by the remainder slabs (all zeros at
+/// exchange depth 1).
 void build_full_split(const Cluster& c, int nd, const CompileOptions& opts,
+                      const std::vector<int>& w, const std::vector<int>& ext,
                       std::vector<NodePtr>& out) {
-  std::vector<int> w(static_cast<std::size_t>(nd), 0);
-  for (const HaloNeed& n : c.needs) {
-    for (int d = 0; d < nd; ++d) {
-      const auto ud = static_cast<std::size_t>(d);
-      w[ud] = std::max(w[ud], n.widths[ud]);
-    }
-  }
   // CORE nest.
   std::vector<Bound> lo(static_cast<std::size_t>(nd));
   std::vector<Bound> hi(static_cast<std::size_t>(nd));
@@ -281,11 +537,11 @@ void build_full_split(const Cluster& c, int nd, const CompileOptions& opts,
 
   // Remainder slabs, ordered low/high per dimension. Dimensions before the
   // slab dimension are restricted to their core range; later dimensions
-  // span the whole domain.
+  // span the whole (ghost-extended) domain.
   std::vector<NodePtr> remainders;
   for (int d = 0; d < nd; ++d) {
     const auto ud = static_cast<std::size_t>(d);
-    if (w[ud] == 0) {
+    if (w[ud] == 0 && ext[ud] == 0) {
       continue;
     }
     for (const bool high : {false, true}) {
@@ -297,13 +553,13 @@ void build_full_split(const Cluster& c, int nd, const CompileOptions& opts,
           slo[uq] = Bound::absolute(w[uq]);
           shi[uq] = Bound::from_size(-w[uq]);
         } else if (q > d) {
-          slo[uq] = Bound::absolute(0);
-          shi[uq] = Bound::from_size(0);
+          slo[uq] = Bound{false, 0, ext[uq]};
+          shi[uq] = Bound{true, 0, ext[uq]};
         } else if (high) {
           slo[uq] = Bound::from_size(-w[uq]);
-          shi[uq] = Bound::from_size(0);
+          shi[uq] = Bound{true, 0, ext[uq]};
         } else {
-          slo[uq] = Bound::absolute(0);
+          slo[uq] = Bound{false, 0, ext[uq]};
           shi[uq] = Bound::absolute(w[uq]);
         }
       }
@@ -312,6 +568,19 @@ void build_full_split(const Cluster& c, int nd, const CompileOptions& opts,
     }
   }
   out.push_back(make_section("remainder", std::move(remainders)));
+}
+
+/// CORE inset of a cluster at exchange depth 1: the merged widths of its
+/// pre-lowering halo needs.
+std::vector<int> needs_width(const Cluster& c, int nd) {
+  std::vector<int> w(static_cast<std::size_t>(nd), 0);
+  for (const HaloNeed& n : c.needs) {
+    for (int d = 0; d < nd; ++d) {
+      const auto ud = static_cast<std::size_t>(d);
+      w[ud] = std::max(w[ud], n.widths[ud]);
+    }
+  }
+  return w;
 }
 
 bool is_reserved_temp_name(const std::string& name) {
@@ -381,8 +650,38 @@ NodePtr lower_to_iet(const std::vector<Eq>& eqs, const grid::Grid& grid,
     flop_reduce(clusters, info);
   }
   obs::Span halo_span("compile.halo_analyze", obs::Cat::Compile);
+  // Communication-avoiding stepping: try the requested exchange depth,
+  // clamping toward 1 whenever a depth is infeasible for these equations
+  // on this grid. At the clamped depth 1 the classic per-step analysis
+  // runs unchanged.
+  DeepHaloPlan ca;
+  const int k_req = std::max(1, opts.exchange_depth);
+  if (k_req > 1) {
+    if (!grid.distributed() || opts.mode == MpiMode::None) {
+      info.exchange_depth_clamp_reason = "serial grid or MPI mode 'none'";
+    } else if (!sparse_ops.empty()) {
+      info.exchange_depth_clamp_reason =
+          "sparse operations update owned points only (ghost zones would "
+          "miss injections)";
+    } else {
+      std::string why;
+      for (int k = k_req; k >= 2; --k) {
+        ca = DeepHaloPlan{};
+        if (plan_deep_halo(clusters, grid, opts.halo_opt, k, ca, why)) {
+          break;
+        }
+        ca = DeepHaloPlan{};
+      }
+      if (ca.k < k_req) {
+        // Fully clamped (k == 1) or downgraded to a shallower depth:
+        // `why` is the failure of the shallowest depth that was rejected.
+        info.exchange_depth_clamp_reason = why;
+      }
+    }
+  }
+  info.exchange_depth = ca.k;
   std::vector<HaloNeed> hoisted =
-      analyze_halos(clusters, grid, opts.halo_opt);
+      ca.k > 1 ? ca.hoisted : analyze_halos(clusters, grid, opts.halo_opt);
   halo_span.close();
 
   // Stage 4: schedule (pre-lowering IET, with HaloSpot placeholders).
@@ -396,20 +695,44 @@ NodePtr lower_to_iet(const std::vector<Eq>& eqs, const grid::Grid& grid,
   }
 
   std::vector<NodePtr> step;
-  for (const Cluster& c : clusters) {
-    if (!c.needs.empty()) {
-      step.push_back(make_halo_spot(c.needs));
+  if (ca.k > 1) {
+    // One exchange at the strip top, then k sub-steps whose loop bounds
+    // shrink from the widest ghost extension back to the owned region.
+    if (!ca.strip_needs.empty()) {
+      step.push_back(make_halo_spot(ca.strip_needs));
     }
-    step.push_back(build_nest(c, nd, opts, domain_lo(nd), domain_hi(nd),
-                              /*allow_block=*/true));
-  }
-  for (const SparseOpDesc& s : sparse_ops) {
-    step.push_back(make_sparse_op(s.id));
-    ++info.sparse_op_count;
+    for (int j = 0; j < ca.k; ++j) {
+      std::vector<NodePtr> sub;
+      for (std::size_t ci = 0; ci < clusters.size(); ++ci) {
+        std::vector<Bound> lo = domain_lo(nd);
+        std::vector<Bound> hi = domain_hi(nd);
+        for (int d = 0; d < nd; ++d) {
+          const auto ud = static_cast<std::size_t>(d);
+          const int e = ca.ext[static_cast<std::size_t>(j)][ci][ud];
+          lo[ud].ghost = e;
+          hi[ud].ghost = e;
+        }
+        sub.push_back(build_nest(clusters[ci], nd, opts, lo, hi,
+                                 /*allow_block=*/true));
+      }
+      step.push_back(make_substep(j, std::move(sub)));
+    }
+  } else {
+    for (const Cluster& c : clusters) {
+      if (!c.needs.empty()) {
+        step.push_back(make_halo_spot(c.needs));
+      }
+      step.push_back(build_nest(c, nd, opts, domain_lo(nd), domain_hi(nd),
+                                /*allow_block=*/true));
+    }
+    for (const SparseOpDesc& s : sparse_ops) {
+      step.push_back(make_sparse_op(s.id));
+      ++info.sparse_op_count;
+    }
   }
 
   std::vector<NodePtr> top = prologue;
-  top.push_back(make_time_loop(std::move(step)));
+  top.push_back(make_time_loop(std::move(step), ca.k));
   NodePtr scheduled = make_callable("Kernel", std::move(top));
   info.schedule_dump = to_debug_string(scheduled);
   schedule_span.close();
@@ -440,6 +763,44 @@ NodePtr lower_to_iet(const std::vector<Eq>& eqs, const grid::Grid& grid,
     // Rewrite the time-loop body.
     std::vector<NodePtr> new_step;
     const auto& old = n->body;
+    if (n->time_stride > 1) {
+      // Communication-avoiding strip: a single spot at the strip top
+      // (Update for basic/diagonal, Start for full), then the sub-steps.
+      // In full mode the Wait moves inside sub-step 0, between the CORE
+      // and remainder halves of its first cluster.
+      std::size_t i = 0;
+      int spot = -1;
+      std::vector<HaloNeed> strip_needs;
+      if (i < old.size() && old[i]->type == NodeType::HaloSpot) {
+        strip_needs = old[i]->needs;
+        spot = register_spot(strip_needs, /*is_hoisted=*/false);
+        new_step.push_back(make_halo_comm(opts.mode == MpiMode::Full
+                                              ? HaloCommKind::Start
+                                              : HaloCommKind::Update,
+                                          strip_needs, spot));
+        ++i;
+      }
+      for (; i < old.size(); ++i) {
+        const NodePtr& sub = old[i];
+        if (opts.mode == MpiMode::Full && spot >= 0 && sub->time_shift == 0) {
+          std::vector<NodePtr> body;
+          std::vector<NodePtr> split;
+          build_full_split(clusters.front(), nd, opts, ca.width.front(),
+                           ca.ext.front().front(), split);
+          body.push_back(split[0]);  // CORE section.
+          body.push_back(make_halo_comm(HaloCommKind::Wait, strip_needs, spot));
+          body.push_back(split[1]);  // Remainder section.
+          for (std::size_t q = 1; q < sub->body.size(); ++q) {
+            body.push_back(sub->body[q]);
+          }
+          new_step.push_back(with_body(*sub, std::move(body)));
+          continue;
+        }
+        new_step.push_back(sub);
+      }
+      new_top.push_back(with_body(*n, std::move(new_step)));
+      continue;
+    }
     for (std::size_t i = 0; i < old.size(); ++i) {
       if (old[i]->type != NodeType::HaloSpot) {
         new_step.push_back(old[i]);
@@ -480,7 +841,9 @@ NodePtr lower_to_iet(const std::vector<Eq>& eqs, const grid::Grid& grid,
       }
       new_step.push_back(make_halo_comm(HaloCommKind::Start, needs, id));
       std::vector<NodePtr> split;
-      build_full_split(c, nd, opts, split);
+      build_full_split(c, nd, opts, needs_width(c, nd),
+                       std::vector<int>(static_cast<std::size_t>(nd), 0),
+                       split);
       new_step.push_back(split[0]);  // CORE section.
       new_step.push_back(make_halo_comm(HaloCommKind::Wait, needs, id));
       new_step.push_back(split[1]);  // Remainder section.

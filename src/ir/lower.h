@@ -54,6 +54,14 @@ struct CompileOptions {
   bool halo_opt = true;      ///< HaloSpot drop/merge/hoist analysis.
   std::int64_t block = 0;    ///< Cache-block size for outer loops (0 = off).
   bool openmp = true;        ///< Annotate parallel loops.
+  /// Communication-avoiding exchange depth k: one halo exchange (of depth
+  /// up to k stencil radii per dependent cluster) is amortized over k
+  /// timesteps, with the skipped exchanges replaced by redundant
+  /// ghost-zone compute. 1 = classic per-step exchanges. Requests are
+  /// clamped (see LoweringInfo::exchange_depth) when the allocated halos
+  /// are too shallow, when sparse operations or saved fields are present,
+  /// or on serial grids.
+  int exchange_depth = 1;
 };
 
 /// A halo spot registration the runtime must be told about.
@@ -72,6 +80,10 @@ struct LoweringInfo {
   std::vector<SpotInfo> spots;
   std::string schedule_dump;  ///< Pre-lowering IET (Listings 4-5 analogue).
   int sparse_op_count = 0;
+  /// Effective exchange depth after clamping (1 when the request could
+  /// not be honoured; exchange_depth_clamp_reason says why).
+  int exchange_depth = 1;
+  std::string exchange_depth_clamp_reason;
 };
 
 /// One off-grid operation appended to every timestep (see sparse/).

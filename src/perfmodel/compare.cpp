@@ -117,10 +117,16 @@ Comparison compare_run(const MeasuredRun& measured, const ScalingModel& model,
                                 static_cast<double>(measured.steps);
   }
 
+  // One exchange round per strip of `exchange_depth` steps: the deep
+  // halo of a communication-avoiding run carries the same message count
+  // per round as a depth-1 exchange (widths grow, directions do not).
+  const std::int64_t depth =
+      measured.exchange_depth > 1 ? measured.exchange_depth : 1;
+  const std::int64_t steps = measured.steps > 0 ? measured.steps : 0;
+  const std::int64_t strips = (steps + depth - 1) / depth;
   c.expected_messages = table1_messages(topology, measured.mode) *
                         static_cast<std::uint64_t>(exchanges_per_step) *
-                        static_cast<std::uint64_t>(
-                            measured.steps > 0 ? measured.steps : 0);
+                        static_cast<std::uint64_t>(strips);
 
   // Structural halo volume: every interior interface along dimension d
   // moves a width-deep slab of the domain cross-section, both ways.
@@ -144,7 +150,8 @@ Comparison compare_run(const MeasuredRun& measured, const ScalingModel& model,
   c.predicted_bytes_per_step = bytes * exchanges_per_step;
 
   const ScalingPoint pt =
-      model.strong(measured.ranks, measured.so, measured.mode, domain_edge);
+      model.strong(measured.ranks, measured.so, measured.mode, domain_edge,
+                   static_cast<int>(depth));
   c.predicted_gpts = pt.gpts;
   c.predicted_step_seconds = pt.step_seconds;
   if (pt.step_seconds > 0.0) {
@@ -158,15 +165,16 @@ Comparison compare_run(const MeasuredRun& measured, const ScalingModel& model,
 
 std::string comparison_table(const std::vector<Comparison>& rows) {
   std::ostringstream os;
-  os << std::left << std::setw(10) << "pattern" << std::right << std::setw(12)
-     << "GPts/s" << std::setw(12) << "model" << std::setw(11) << "comm%"
-     << std::setw(11) << "model%" << std::setw(12) << "msgs" << std::setw(12)
-     << "expected" << std::setw(14) << "MB/step" << std::setw(14)
-     << "model MB" << '\n';
+  os << std::left << std::setw(10) << "pattern" << std::right << std::setw(4)
+     << "k" << std::setw(12) << "GPts/s" << std::setw(12) << "model"
+     << std::setw(11) << "comm%" << std::setw(11) << "model%" << std::setw(12)
+     << "msgs" << std::setw(12) << "expected" << std::setw(14) << "MB/step"
+     << std::setw(14) << "model MB" << '\n';
   os << std::fixed;
   for (const Comparison& c : rows) {
     os << std::left << std::setw(10) << ir::to_string(c.measured.mode)
-       << std::right << std::setprecision(4) << std::setw(12)
+       << std::right << std::setw(4) << c.measured.exchange_depth
+       << std::setprecision(4) << std::setw(12)
        << c.measured_gpts << std::setw(12) << c.predicted_gpts
        << std::setprecision(1) << std::setw(10)
        << 100.0 * c.measured.comm_fraction << "%" << std::setw(10)
@@ -193,6 +201,7 @@ std::string comparison_json(const std::vector<Comparison>& rows) {
        << "      \"ranks\": " << c.measured.ranks << ",\n"
        << "      \"so\": " << c.measured.so << ",\n"
        << "      \"steps\": " << c.measured.steps << ",\n"
+       << "      \"exchange_depth\": " << c.measured.exchange_depth << ",\n"
        << "      \"measured_gpts\": " << c.measured_gpts << ",\n"
        << "      \"predicted_gpts\": " << c.predicted_gpts << ",\n"
        << "      \"measured_comm_fraction\": " << c.measured.comm_fraction

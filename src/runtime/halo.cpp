@@ -51,6 +51,14 @@ std::int64_t HaloExchange::Box::count() const {
 HaloExchange::HaloExchange(const grid::Grid& grid, ir::MpiMode mode)
     : grid_(&grid), mode_(mode) {}
 
+void HaloExchange::set_exchange_depth(int depth) {
+  if (depth < 1) {
+    throw std::invalid_argument("HaloExchange: exchange depth must be >= 1");
+  }
+  exchange_depth_ = depth;
+  stats_.exchange_depth = depth;
+}
+
 namespace {
 
 /// Compute send/recv boxes of `fn` for direction `o` with exchange widths
@@ -171,6 +179,7 @@ int HaloExchange::register_spot(const ir::SpotInfo& spot,
     throw std::logic_error("HaloExchange: spots must register in id order");
   }
   Spot s;
+  s.hoisted = spot.hoisted;
   const bool star =
       mode_ == ir::MpiMode::Diagonal || mode_ == ir::MpiMode::Full;
   for (std::size_t slot = 0; slot < spot.needs.size(); ++slot) {
@@ -179,6 +188,14 @@ int HaloExchange::register_spot(const ir::SpotInfo& spot,
     plan.fn = &fields.at(need.field_id);
     plan.time_offset = need.time_offset;
     plan.widths = need.widths;
+    for (std::size_t d = 0; d < need.widths.size(); ++d) {
+      if (need.widths[d] > plan.fn->lpad()) {
+        throw std::invalid_argument(
+            "HaloExchange: exchange width " + std::to_string(need.widths[d]) +
+            " of field '" + plan.fn->name() + "' exceeds its allocated halo (" +
+            std::to_string(plan.fn->lpad()) + " per side)");
+      }
+    }
     if (grid_->distributed() && star) {
       // One plan per star-neighbourhood direction whose exchanged volume
       // is nonzero; buffers and row plans preallocated here (Table I:
@@ -292,6 +309,9 @@ void HaloExchange::update(int spot, std::int64_t time) {
     complete_star(s, time);
   }
   ++stats_.updates;
+  if (!s.hoisted) {
+    stats_.steps_covered += static_cast<std::uint64_t>(exchange_depth_);
+  }
   sync_transport_stats();
 }
 
@@ -419,8 +439,12 @@ void HaloExchange::start(int spot, std::int64_t time) {
     return;
   }
   const obs::Span span("halo.start", obs::Cat::Halo, time, spot);
-  post_star(spots_.at(static_cast<std::size_t>(spot)), time);
+  Spot& s = spots_.at(static_cast<std::size_t>(spot));
+  post_star(s, time);
   ++stats_.starts;
+  if (!s.hoisted) {
+    stats_.steps_covered += static_cast<std::uint64_t>(exchange_depth_);
+  }
   sync_transport_stats();
 }
 

@@ -312,11 +312,16 @@ void Interpreter::execute_statements(const std::vector<ir::NodePtr>& body) {
 }
 
 void Interpreter::execute_loop(const ir::Node& node) {
-  const auto& shape =
-      fields_->all().front()->grid().local_shape();
+  const grid::Grid& grid = fields_->all().front()->grid();
+  const auto& shape = grid.local_shape();
   const std::int64_t size = shape[static_cast<std::size_t>(node.dim)];
-  const std::int64_t lo = node.lo.resolve(size);
-  const std::int64_t hi = node.hi.resolve(size);
+  // Ghost extensions (communication-avoiding stepping) apply per side,
+  // and only toward ranks that exist: ghosts at physical boundaries hold
+  // boundary-condition data and must not be touched.
+  const std::int64_t lo =
+      node.lo.resolve_lo(size, grid.has_neighbor_low(node.dim));
+  const std::int64_t hi =
+      node.hi.resolve_hi(size, grid.has_neighbor_high(node.dim));
 
   const bool leaf = !node.body.empty() &&
                     node.body.front()->type == ir::NodeType::Expression;
@@ -408,33 +413,61 @@ void Interpreter::run(std::int64_t time_m, std::int64_t time_M,
 
   // Execute: prologue statements and hoisted exchanges, then the time loop.
   time_ = time_m;
+  // Halo and sparse nodes trace themselves; everything else in a step
+  // body is stencil computation.
+  const auto run_step_children = [&](const std::vector<ir::NodePtr>& children,
+                                     std::int64_t t) {
+    for (const ir::NodePtr& child : children) {
+      if (child->type == ir::NodeType::HaloComm ||
+          child->type == ir::NodeType::SparseOp) {
+        execute(*child);
+        continue;
+      }
+      const char* name = "compute";
+      if (child->type == ir::NodeType::Section) {
+        if (child->name == "core") {
+          name = "compute.core";
+        } else if (child->name == "remainder") {
+          name = "compute.remainder";
+        }
+      }
+      const obs::Span span(name, obs::Cat::Compute, t);
+      execute(*child);
+    }
+  };
+
   for (const ir::NodePtr& top : root_->body) {
-    if (top->type == ir::NodeType::TimeLoop) {
+    if (top->type != ir::NodeType::TimeLoop) {
+      execute(*top);
+      continue;
+    }
+    if (top->time_stride <= 1) {
       for (std::int64_t t = time_m; t <= time_M; ++t) {
         time_ = t;
         const obs::Span step("step", obs::Cat::Run, t);
-        for (const ir::NodePtr& child : top->body) {
-          // Halo and sparse nodes trace themselves; everything else in
-          // the step body is stencil computation.
-          if (child->type == ir::NodeType::HaloComm ||
-              child->type == ir::NodeType::SparseOp) {
-            execute(*child);
-            continue;
-          }
-          const char* name = "compute";
-          if (child->type == ir::NodeType::Section) {
-            if (child->name == "core") {
-              name = "compute.core";
-            } else if (child->name == "remainder") {
-              name = "compute.remainder";
-            }
-          }
-          const obs::Span span(name, obs::Cat::Compute, t);
-          execute(*child);
-        }
+        run_step_children(top->body, t);
       }
-    } else {
-      execute(*top);
+      continue;
+    }
+    // Communication-avoiding strips: one exchange per strip, then the
+    // sub-steps; shifted sub-steps are skipped when the final strip runs
+    // past time_M (their full-depth redundancy makes that safe).
+    for (std::int64_t strip = time_m; strip <= time_M;
+         strip += top->time_stride) {
+      const obs::Span strip_span("strip", obs::Cat::Run, strip);
+      for (const ir::NodePtr& child : top->body) {
+        if (child->type == ir::NodeType::HaloComm) {
+          time_ = strip;
+          execute(*child);
+          continue;
+        }
+        if (strip + child->time_shift > time_M) {
+          continue;
+        }
+        time_ = strip + child->time_shift;
+        const obs::Span step("step", obs::Cat::Run, time_);
+        run_step_children(child->body, time_);
+      }
     }
   }
 }

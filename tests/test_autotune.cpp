@@ -69,6 +69,62 @@ TEST(Autotune, TrialsAllPatternsAndRestoresData) {
   });
 }
 
+TEST(Autotune, TrialsExchangeDepthsJointlyWithPatterns) {
+  // With halos deep enough for depth 4, the trial grid covers
+  // {basic, diagonal, full} x {1, 2, 4} and the winner carries both the
+  // pattern and the depth into the returned operator.
+  jitfd::grid::Function::set_default_exchange_depth(4);
+  smpi::run(4, [](smpi::Communicator& comm) {
+    const Grid g({16, 16}, {1.0, 1.0}, comm);
+    TimeFunction u("u", g, 2, 1);
+    u.fill_global_box(0, std::vector<std::int64_t>{4, 4},
+                      std::vector<std::int64_t>{12, 12}, 1.0F);
+    AutotuneReport report;
+    auto op = autotune_operator({diffusion_eq(u)}, {}, {{"dt", 1e-3}}, 0, 2,
+                                &report);
+    // Per-pattern summary stays 3 rows (best over depths)...
+    ASSERT_EQ(report.seconds.size(), 3U);
+    // ...and the full grid ran 9 trials: no depth was clamped here.
+    EXPECT_EQ(report.seconds_by_depth.size(), 9U);
+    for (const auto& [key, secs] : report.seconds_by_depth) {
+      EXPECT_GT(secs, 0.0);
+      EXPECT_LE(report.seconds.at(key.first), secs);
+    }
+    EXPECT_TRUE(report.best_depth == 1 || report.best_depth == 2 ||
+                report.best_depth == 4);
+    EXPECT_EQ(op->options().exchange_depth, report.best_depth);
+    EXPECT_EQ(op->options().mode, report.best);
+    EXPECT_EQ(
+        report.seconds_by_depth.at({report.best, report.best_depth}),
+        report.seconds.at(report.best));
+    // Every rank agrees on the winning depth.
+    std::vector<std::int64_t> depth{report.best_depth};
+    std::vector<std::int64_t> depth_max = depth;
+    comm.allreduce(std::span<std::int64_t>(depth_max), smpi::ReduceOp::Max);
+    EXPECT_EQ(depth[0], depth_max[0]);
+  });
+  jitfd::grid::Function::set_default_exchange_depth(1);
+}
+
+TEST(Autotune, ClampedDepthsAreSkippedNotDuplicated) {
+  // Default halo capacity (depth 1 allocation, space order 2) admits
+  // depth 2 but not depth 4: the depth-4 trials must be skipped as
+  // duplicates, leaving a 3x2 grid.
+  smpi::run(4, [](smpi::Communicator& comm) {
+    const Grid g({16, 16}, {1.0, 1.0}, comm);
+    TimeFunction u("u", g, 2, 1);
+    AutotuneReport report;
+    auto op = autotune_operator({diffusion_eq(u)}, {}, {{"dt", 1e-3}}, 0, 2,
+                                &report);
+    EXPECT_EQ(report.seconds_by_depth.size(), 6U);
+    for (const auto& [key, secs] : report.seconds_by_depth) {
+      EXPECT_NE(key.second, 4) << "clamped depth was trialled";
+    }
+    EXPECT_NE(report.best_depth, 4);
+    (void)op;
+  });
+}
+
 TEST(Autotune, TunedOperatorMatchesSerialReference) {
   const std::int64_t n = 12;
   const int steps = 4;

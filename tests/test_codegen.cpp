@@ -102,6 +102,89 @@ TEST(Codegen, FullModeEmitsStartCoreWaitRemainderAndProgress) {
   });
 }
 
+TEST(Codegen, DeepHaloEmitsStripLoopWithGuardedSubSteps) {
+  // exchange_depth 2: the time loop strides by 2, one exchange happens
+  // at the strip top, and each sub-step is a guarded block with its own
+  // `time` constant (the last strip may be partial).
+  jitfd::grid::Function::set_default_exchange_depth(2);
+  smpi::run(4, [](smpi::Communicator& comm) {
+    const Grid g({16, 16}, {1.0, 1.0}, comm);
+    TimeFunction u("u", g, 2, 1);
+    ir::CompileOptions opts;
+    opts.mode = ir::MpiMode::Basic;
+    opts.exchange_depth = 2;
+    Operator op = diffusion_operator(g, u, opts);
+    ASSERT_EQ(op.info().exchange_depth, 2)
+        << op.info().exchange_depth_clamp_reason;
+    const std::string& code = op.ccode();
+    const auto strip = code.find(
+        "for (long strip_t = time_m; strip_t <= time_M; strip_t += 2)");
+    const auto update = code.find("ops->update(hctx, 0, time);");
+    const auto sub0 = code.find("/* sub-step 0 */");
+    const auto sub1 = code.find("/* sub-step 1 */");
+    const auto guard = code.find("if (strip_t + 1 <= time_M)");
+    ASSERT_NE(strip, std::string::npos) << code;
+    ASSERT_NE(update, std::string::npos) << code;
+    ASSERT_NE(sub0, std::string::npos) << code;
+    ASSERT_NE(sub1, std::string::npos) << code;
+    ASSERT_NE(guard, std::string::npos) << code;
+    EXPECT_LT(strip, update);
+    EXPECT_LT(update, sub0);
+    EXPECT_LT(sub0, sub1);
+    // Sub-step 0 is unguarded (the strip exists, so its first step does);
+    // the guard belongs to sub-step 1.
+    EXPECT_LT(sub1, guard);
+  });
+  jitfd::grid::Function::set_default_exchange_depth(1);
+}
+
+TEST(CodegenJit, DeepHaloJitMatchesPerStepInterpreter) {
+  if (!have_cc()) {
+    GTEST_SKIP() << "no C compiler available";
+  }
+  // The strided strip loop emitted for exchange_depth 2 must produce the
+  // same field as the per-step interpreter schedule, including a partial
+  // final strip (5 steps at depth 2).
+  const std::int64_t n = 16;
+  const double dt = 1e-3;
+  const int steps = 5;
+  for (const ir::MpiMode mode : {ir::MpiMode::Basic, ir::MpiMode::Full}) {
+    std::vector<float> expected;
+    std::vector<float> got;
+    for (const int depth : {1, 2}) {
+      jitfd::grid::Function::set_default_exchange_depth(2);
+      smpi::run(4, [&](smpi::Communicator& comm) {
+        const Grid g({n, n}, {1.0, 1.0}, comm);
+        TimeFunction u("u", g, 2, 1);
+        u.fill_global_box(0, std::vector<std::int64_t>{n / 4, n / 4},
+                          std::vector<std::int64_t>{n / 2, n / 2}, 1.0F);
+        ir::CompileOptions opts;
+        opts.mode = mode;
+        opts.exchange_depth = depth;
+        Operator op = diffusion_operator(g, u, opts);
+        ASSERT_EQ(op.info().exchange_depth, depth)
+            << op.info().exchange_depth_clamp_reason;
+        const auto run = op.apply({.time_m = 0,
+                                   .time_M = steps - 1,
+                                   .scalars = {{"dt", dt}},
+                                   .backend = depth == 1
+                                       ? Operator::Backend::Interpret
+                                       : Operator::Backend::Jit});
+        const auto gathered = u.gather(steps % 2);
+        if (comm.rank() == 0) {
+          (depth == 1 ? expected : got) = gathered;
+        }
+      });
+      jitfd::grid::Function::set_default_exchange_depth(1);
+    }
+    ASSERT_EQ(expected.size(), got.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_NEAR(expected[i], got[i], 1e-6)
+          << "mode " << ir::to_string(mode) << " at " << i;
+    }
+  }
+}
+
 TEST(Codegen, OpenAccVariantUsesAccPragmas) {
   const Grid g({8, 8, 8}, {1.0, 1.0, 1.0});
   TimeFunction u("u", g, 2, 1);

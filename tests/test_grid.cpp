@@ -101,6 +101,39 @@ TEST(Grid, DistributedDefaultTopology) {
   });
 }
 
+TEST(Grid, NeighborPredicatesFollowCartesianTopology) {
+  // 2x2 ranks on a non-periodic grid: each rank has exactly one
+  // neighbour per dimension, on the side facing the domain interior.
+  smpi::run(4, [](smpi::Communicator& comm) {
+    const Grid g({8, 8}, {1.0, 1.0}, comm);
+    const auto& coords = g.cart()->my_coords();
+    for (int d = 0; d < 2; ++d) {
+      EXPECT_EQ(g.has_neighbor_low(d), coords[static_cast<std::size_t>(d)] == 1);
+      EXPECT_EQ(g.has_neighbor_high(d),
+                coords[static_cast<std::size_t>(d)] == 0);
+    }
+  });
+  // Serial grids have no neighbours anywhere.
+  const Grid serial({8, 8}, {1.0, 1.0});
+  EXPECT_FALSE(serial.has_neighbor_low(0));
+  EXPECT_FALSE(serial.has_neighbor_high(1));
+}
+
+TEST(Function, DefaultExchangeDepthScalesHaloCapacity) {
+  // Deep-halo stepping needs room for k stencil radii; the process-wide
+  // default depth multiplies the allocated halo at construction time.
+  using jitfd::grid::Function;
+  const Grid g({8, 8}, {1.0, 1.0});
+  Function::set_default_exchange_depth(3);
+  const Function deep("deep", g, /*space_order=*/4);
+  Function::set_default_exchange_depth(1);
+  const Function shallow("shallow", g, /*space_order=*/4);
+  EXPECT_EQ(deep.halo(), 12);
+  EXPECT_EQ(shallow.halo(), 4);
+  EXPECT_THROW(Function::set_default_exchange_depth(0),
+               std::invalid_argument);
+}
+
 TEST(Grid, CustomTopologyMatchesPaperFigure2) {
   // Paper Figure 2: 16 ranks decomposed as (4,2,2), (2,2,4), (4,4,1).
   smpi::run(16, [](smpi::Communicator& comm) {

@@ -17,6 +17,49 @@ TEST(Bound, ResolvesAbsoluteAndSizeRelative) {
   EXPECT_EQ(Bound::from_size(-4).resolve(100), 96);
 }
 
+TEST(Bound, GhostExtensionAppliesOnlyTowardNeighbours) {
+  // The communication-avoiding extension grows a bound into the ghost
+  // zone, but only where a Cartesian neighbour exists — physical
+  // boundaries keep the unextended bound.
+  Bound lo = Bound::absolute(0);
+  lo.ghost = 3;
+  EXPECT_EQ(lo.resolve_lo(10, /*has_neighbor=*/true), -3);
+  EXPECT_EQ(lo.resolve_lo(10, /*has_neighbor=*/false), 0);
+  Bound hi = Bound::from_size(0);
+  hi.ghost = 2;
+  EXPECT_EQ(hi.resolve_hi(10, /*has_neighbor=*/true), 12);
+  EXPECT_EQ(hi.resolve_hi(10, /*has_neighbor=*/false), 10);
+  // Plain resolve() ignores the extension (depth-1 consumers).
+  EXPECT_EQ(hi.resolve(10), 10);
+}
+
+TEST(Iet, StridedTimeLoopAndSubstepRendering) {
+  const auto stmt = make_expression(sym::symbol("a"), sym::Ex(1));
+  LoopProps props;
+  Bound lo = Bound::absolute(0);
+  Bound hi = Bound::from_size(0);
+  lo.ghost = hi.ghost = 2;
+  const auto loop = make_iteration(0, lo, hi, props, {stmt});
+  const auto time_loop = make_time_loop(
+      {make_substep(0, {loop}), make_substep(1, {loop})}, 2);
+  EXPECT_EQ(time_loop->time_stride, 2);
+  const std::string s = to_debug_string(time_loop);
+  EXPECT_NE(s.find("Iteration time stride 2"), std::string::npos) << s;
+  EXPECT_NE(s.find("<Section substep t+0>"), std::string::npos) << s;
+  EXPECT_NE(s.find("<Section substep t+1>"), std::string::npos) << s;
+  // Ghost-extended bounds render with the per-side extension marker.
+  EXPECT_NE(s.find("-g2"), std::string::npos) << s;
+  EXPECT_NE(s.find("+g2"), std::string::npos) << s;
+}
+
+TEST(Iet, PlainTimeLoopRendersWithoutStride) {
+  const auto time_loop =
+      make_time_loop({make_expression(sym::symbol("a"), sym::Ex(1))});
+  EXPECT_EQ(time_loop->time_stride, 1);
+  const std::string s = to_debug_string(time_loop);
+  EXPECT_EQ(s.find("stride"), std::string::npos) << s;
+}
+
 TEST(Iet, ConstructorsSetFields) {
   const sym::Ex t = sym::symbol("r0");
   const auto expr = make_expression(t, sym::Ex(2) * sym::symbol("x"));

@@ -330,22 +330,26 @@ TEST(Operator, DescribeReportsCompilationSummary) {
   });
 }
 
-TEST(Operator, DeprecatedPositionalApiStillWorks) {
-  // Regression coverage for the pre-ApplyArgs surface: the positional
-  // apply(), set_backend() and the post-hoc accessors must keep working
-  // (and agreeing with the new per-run RunSummary) until removal.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(Operator, ExchangeDepthClampsOnSerialGrids) {
+  // Communication-avoiding stepping is pointless without exchanges: a
+  // serial grid clamps any requested depth back to 1, with the reason
+  // surfaced through the lowering info and describe().
   const Grid g({8, 8}, {1.0, 1.0});
   Diffusion d(g);
-  Operator op({d.eq});
-  op.set_backend(Operator::Backend::Interpret);
-  EXPECT_EQ(op.backend(), Operator::Backend::Interpret);
-  op.apply(0, 4, {{"dt", 1e-3}});
-  EXPECT_EQ(op.points_updated(), 64 * 5);
-  EXPECT_EQ(op.halo_stats().messages, 0U);  // Serial grid: no exchanges.
-  EXPECT_FALSE(op.jit_cache_hit());
-#pragma GCC diagnostic pop
+  ir::CompileOptions opts;
+  opts.exchange_depth = 4;
+  Operator op({d.eq}, opts);
+  EXPECT_EQ(op.info().exchange_depth, 1);
+  EXPECT_NE(op.info().exchange_depth_clamp_reason.find("serial"),
+            std::string::npos)
+      << op.info().exchange_depth_clamp_reason;
+  EXPECT_NE(op.describe().find("clamped"), std::string::npos)
+      << op.describe();
+  // The clamped operator still runs as a plain depth-1 schedule.
+  const auto run = op.apply({.time_m = 0, .time_M = 4,
+                             .scalars = {{"dt", 1e-3}}});
+  EXPECT_EQ(run.points_updated, 64 * 5);
+  EXPECT_EQ(run.halo.messages, 0U);  // Serial grid: no exchanges.
 }
 
 TEST(Operator, HaloStatsMatchTableOneMessageCounts) {
@@ -378,6 +382,51 @@ TEST(Operator, HaloStatsMatchTableOneMessageCounts) {
         EXPECT_EQ(stats.starts, 1U);
       }
     });
+  }
+}
+
+TEST(Operator, DeepHaloAmortizesTableOneMessagesOverStrips) {
+  // The communication-avoiding acceptance check: with exchange_depth k,
+  // the p2p messages for k timesteps equal the Table I count for ONE
+  // timestep of the depth-1 schedule — the deep exchange changes widths,
+  // not the message structure.
+  const std::int64_t n = 8;
+  const int depth = 2;
+  for (const auto& [mode, expected_per_strip] :
+       std::initializer_list<std::pair<ir::MpiMode, std::uint64_t>>{
+           {ir::MpiMode::Basic, 8},
+           {ir::MpiMode::Diagonal, 12},
+           {ir::MpiMode::Full, 12}}) {
+    const ir::MpiMode m = mode;
+    const std::uint64_t expect = expected_per_strip;
+    jitfd::grid::Function::set_default_exchange_depth(depth);
+    smpi::run(4, [&](smpi::Communicator& comm) {
+      const Grid g({n, n}, {1.0, 1.0}, comm);
+      ir::CompileOptions opts;
+      opts.mode = m;
+      opts.exchange_depth = depth;
+      jitfd::runtime::HaloStats stats;
+      // Two strips: 2 * depth steps -> exactly 2x the one-step Table I
+      // count, where the depth-1 schedule would send 4x.
+      run_diffusion(g, opts, /*steps=*/2 * depth, 1e-3,
+                    Operator::Backend::Interpret, &stats);
+      EXPECT_EQ(stats.exchange_depth, depth);
+      // Each rank's exchanges covered every timestep exactly once.
+      EXPECT_EQ(stats.steps_covered, static_cast<std::uint64_t>(2 * depth));
+      std::vector<std::int64_t> total{
+          static_cast<std::int64_t>(stats.messages)};
+      comm.allreduce(std::span<std::int64_t>(total), smpi::ReduceOp::Sum);
+      if (comm.rank() == 0) {
+        EXPECT_EQ(static_cast<std::uint64_t>(total[0]), 2 * expect)
+            << "mode " << ir::to_string(m);
+      }
+      if (m == ir::MpiMode::Full) {
+        // One start per strip, overlapped with the widened core.
+        EXPECT_EQ(stats.starts, 2U);
+        EXPECT_GT(stats.progress_calls, 0U);
+      }
+    });
+    jitfd::grid::Function::set_default_exchange_depth(1);
   }
 }
 
