@@ -8,12 +8,21 @@
 // The kernels under test are the production ones: a RowPlan built once
 // (as register_spot does) driven through copy_rows_gather/scatter,
 // including the OpenMP-chunked variant the runtime selects for large
-// volumes. Per-iteration counters (rows, row length, plan bytes) are
+// volumes. Per-series counters (rows, row length, plan bytes) are
 // reported so regressions can be attributed to geometry vs copy speed.
-#include <benchmark/benchmark.h>
-
+//
+//   ./bench_pack_unpack [--reps=N] [--out=FILE.json]
+//
+// Output is the shared bench_util.h series schema (sentinel-consumable);
+// default FILE is BENCH_pack_unpack.json in the working directory.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "grid/function.h"
 #include "grid/grid.h"
 #include "runtime/halo.h"
@@ -50,69 +59,97 @@ struct FaceCase {
   }
 };
 
-void report(benchmark::State& state, const RowPlan& plan) {
-  const std::int64_t bytes =
-      plan.total() * static_cast<std::int64_t>(sizeof(float));
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          bytes);
-  state.counters["rows"] = static_cast<double>(plan.offsets.size());
-  state.counters["row_floats"] = static_cast<double>(plan.row);
-  state.counters["face_bytes"] = static_cast<double>(bytes);
-}
+// The optimizer must not drop the copy loops; reading one element of
+// the destination through a volatile after each window is enough.
+volatile float g_sink = 0.0F;
 
-void run_pack(benchmark::State& state, bool thin_along_inner, bool parallel) {
-  FaceCase c(thin_along_inner);
-  std::vector<float> buffer(static_cast<std::size_t>(c.plan.total()));
-  for (auto _ : state) {
-    jitfd::runtime::copy_rows_gather(c.field.buffer(0), c.plan, buffer.data(),
-                                     parallel);
-    benchmark::DoNotOptimize(buffer.data());
-    benchmark::ClobberMemory();
+// Time `inner` copies of the face and return wall seconds. The face is
+// a few MB, so a handful of back-to-back copies gives a measurable
+// window without adaptive iteration machinery.
+template <typename F>
+double timed(int inner, F&& copy_once) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < inner; ++i) {
+    copy_once();
   }
-  report(state, c.plan);
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
 }
 
-void run_unpack(benchmark::State& state, bool thin_along_inner,
-                bool parallel) {
+benchutil::MeasuredSeries run_case(const std::string& name, bool pack,
+                                   bool thin_along_inner, bool parallel,
+                                   int reps, int inner) {
   FaceCase c(thin_along_inner);
-  std::vector<float> buffer(static_cast<std::size_t>(c.plan.total()), 2.0F);
-  for (auto _ : state) {
-    jitfd::runtime::copy_rows_scatter(c.field.buffer(0), c.plan,
-                                      buffer.data(), parallel);
-    benchmark::DoNotOptimize(c.field.buffer(0));
-    benchmark::ClobberMemory();
-  }
-  report(state, c.plan);
-}
+  std::vector<float> buffer(static_cast<std::size_t>(c.plan.total()),
+                            pack ? 0.0F : 2.0F);
+  const auto copy_once = [&] {
+    if (pack) {
+      jitfd::runtime::copy_rows_gather(c.field.buffer(0), c.plan,
+                                       buffer.data(), parallel);
+      g_sink = buffer[0];
+    } else {
+      jitfd::runtime::copy_rows_scatter(c.field.buffer(0), c.plan,
+                                        buffer.data(), parallel);
+      g_sink = c.field.buffer(0)[0];
+    }
+  };
+  copy_once();  // Warm up (page faults, thread pool spin-up).
 
-// Thin along x: rows stay full length along z (128 floats).
-void BM_PackContiguousFace(benchmark::State& state) {
-  run_pack(state, false, false);
-}
-// Thin along z: every row is kWidth floats.
-void BM_PackStridedFace(benchmark::State& state) {
-  run_pack(state, true, false);
-}
-void BM_UnpackContiguousFace(benchmark::State& state) {
-  run_unpack(state, false, false);
-}
-void BM_UnpackStridedFace(benchmark::State& state) {
-  run_unpack(state, true, false);
-}
-void BM_PackContiguousFaceThreaded(benchmark::State& state) {
-  run_pack(state, false, true);
-}
-void BM_PackStridedFaceThreaded(benchmark::State& state) {
-  run_pack(state, true, true);
+  benchutil::MeasuredSeries s;
+  s.name = name;
+  for (int r = 0; r < reps; ++r) {
+    s.seconds.push_back(timed(inner, copy_once));
+  }
+  const double bytes =
+      static_cast<double>(c.plan.total()) * static_cast<double>(sizeof(float));
+  // Counters are machine-independent by design (the sentinel checks
+  // them exactly); throughput is derived from median_seconds at read
+  // time and printed below, not committed.
+  s.counters["rows"] = static_cast<double>(c.plan.offsets.size());
+  s.counters["row_floats"] = static_cast<double>(c.plan.row);
+  s.counters["face_bytes"] = bytes;
+  s.counters["copies_per_rep"] = inner;
+  return s;
 }
 
 }  // namespace
 
-BENCHMARK(BM_PackContiguousFace);
-BENCHMARK(BM_PackStridedFace);
-BENCHMARK(BM_UnpackContiguousFace);
-BENCHMARK(BM_UnpackStridedFace);
-BENCHMARK(BM_PackContiguousFaceThreaded);
-BENCHMARK(BM_PackStridedFaceThreaded);
+int main(int argc, char** argv) {
+  const int reps =
+      std::atoi(benchutil::arg_value(argc, argv, "reps", "5").c_str());
+  const std::string out_path =
+      benchutil::arg_value(argc, argv, "out", "BENCH_pack_unpack.json");
+  constexpr int kInner = 8;
 
-BENCHMARK_MAIN();
+  // Contiguous: thin along x, rows stay full length along z (128
+  // floats). Strided: thin along z, every row is kWidth floats.
+  const std::vector<benchutil::MeasuredSeries> rows = {
+      run_case("pack_contiguous", true, false, false, reps, kInner),
+      run_case("pack_strided", true, true, false, reps, kInner),
+      run_case("unpack_contiguous", false, false, false, reps, kInner),
+      run_case("unpack_strided", false, true, false, reps, kInner),
+      run_case("pack_contiguous_threaded", true, false, true, reps, kInner),
+      run_case("pack_strided_threaded", true, true, true, reps, kInner),
+  };
+
+  for (const benchutil::MeasuredSeries& s : rows) {
+    const double med = benchutil::median_of(s.seconds);
+    const double gbs =
+        med > 0.0 ? s.counters.at("face_bytes") * kInner / (1e9 * med) : 0.0;
+    std::printf("  %-26s %9.3f ms  %7.2f GB/s  (spread %.1f%%)\n",
+                s.name.c_str(), 1e3 * med, gbs,
+                benchutil::spread_pct_of(s.seconds));
+  }
+
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << benchutil::series_json(
+      "pack_unpack",
+      "128^3 face pack/unpack width 4: contiguous vs strided rows through "
+      "the production RowPlan copy kernels",
+      rows, {{"edge", "128"}, {"width", "4"}});
+  return 0;
+}

@@ -3,11 +3,22 @@
 // JIT-compiled generated C (when a system C compiler is present). The
 // JIT/interpreter ratio shows what the code-generation path buys; the
 // per-kernel ordering mirrors the flops-per-point ordering of Figure 7.
-#include <benchmark/benchmark.h>
-
+//
+//   ./bench_stencil_kernels [--reps=N] [--out=FILE.json]
+//
+// Output is the shared bench_util.h series schema (sentinel-consumable);
+// default FILE is BENCH_stencil.json in the working directory. JIT
+// series are skipped (not emitted) when no C compiler is available, so
+// the sentinel baseline for CI should be generated on a host with one.
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
+#include <string>
+#include <vector>
 
+#include "bench_util.h"
 #include "models/acoustic.h"
 #include "models/elastic.h"
 #include "models/tti.h"
@@ -17,9 +28,9 @@ namespace {
 
 using jitfd::core::Operator;
 using jitfd::grid::Grid;
-namespace ir = jitfd::ir;
 
 constexpr std::int64_t kEdge = 48;
+constexpr int kStepsPerRep = 5;
 
 bool have_cc() {
   static const bool ok = std::system("cc --version > /dev/null 2>&1") == 0;
@@ -27,11 +38,9 @@ bool have_cc() {
 }
 
 template <typename Model>
-void run_kernel(benchmark::State& state, Operator::Backend backend, int so) {
-  if (backend == Operator::Backend::Jit && !have_cc()) {
-    state.SkipWithError("no C compiler for the JIT backend");
-    return;
-  }
+benchutil::MeasuredSeries run_kernel(const std::string& name,
+                                     Operator::Backend backend, int so,
+                                     int reps) {
   const Grid g({kEdge, kEdge}, {1.0, 1.0});
   Model model(g, so);
   model.wavefield().fill_global_box(
@@ -44,60 +53,86 @@ void run_kernel(benchmark::State& state, Operator::Backend backend, int so) {
   // Warm up (forces the JIT compile outside the timed loop).
   op->apply({.time_m = time, .time_M = time, .scalars = model.scalars(dt)});
   ++time;
-  for (auto _ : state) {
-    op->apply({.time_m = time, .time_M = time + 4,
-               .scalars = model.scalars(dt)});
-    time += 5;
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 5 *
-                          kEdge * kEdge);
-  state.counters["GPts/s"] = benchmark::Counter(
-      static_cast<double>(state.iterations()) * 5 * kEdge * kEdge / 1e9,
-      benchmark::Counter::kIsRate);
-}
 
-void BM_AcousticInterp(benchmark::State& s) {
-  run_kernel<jitfd::models::AcousticModel>(s, Operator::Backend::Interpret,
-                                           static_cast<int>(s.range(0)));
-}
-void BM_AcousticJit(benchmark::State& s) {
-  run_kernel<jitfd::models::AcousticModel>(s, Operator::Backend::Jit,
-                                           static_cast<int>(s.range(0)));
-}
-void BM_TtiInterp(benchmark::State& s) {
-  run_kernel<jitfd::models::TtiModel>(s, Operator::Backend::Interpret,
-                                      static_cast<int>(s.range(0)));
-}
-void BM_TtiJit(benchmark::State& s) {
-  run_kernel<jitfd::models::TtiModel>(s, Operator::Backend::Jit,
-                                      static_cast<int>(s.range(0)));
-}
-void BM_ElasticInterp(benchmark::State& s) {
-  run_kernel<jitfd::models::ElasticModel>(s, Operator::Backend::Interpret,
-                                          static_cast<int>(s.range(0)));
-}
-void BM_ElasticJit(benchmark::State& s) {
-  run_kernel<jitfd::models::ElasticModel>(s, Operator::Backend::Jit,
-                                          static_cast<int>(s.range(0)));
-}
-void BM_ViscoelasticInterp(benchmark::State& s) {
-  run_kernel<jitfd::models::ViscoelasticModel>(
-      s, Operator::Backend::Interpret, static_cast<int>(s.range(0)));
-}
-void BM_ViscoelasticJit(benchmark::State& s) {
-  run_kernel<jitfd::models::ViscoelasticModel>(s, Operator::Backend::Jit,
-                                               static_cast<int>(s.range(0)));
+  benchutil::MeasuredSeries s;
+  s.name = name;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    op->apply({.time_m = time, .time_M = time + kStepsPerRep - 1,
+               .scalars = model.scalars(dt)});
+    const auto t1 = std::chrono::steady_clock::now();
+    time += kStepsPerRep;
+    s.seconds.push_back(std::chrono::duration<double>(t1 - t0).count());
+  }
+  // Counters are machine-independent by design (the sentinel checks
+  // them exactly); throughput is derived from median_seconds at read
+  // time and printed below, not committed.
+  s.counters["so"] = so;
+  s.counters["steps_per_rep"] = kStepsPerRep;
+  s.counters["points_per_rep"] =
+      static_cast<double>(kStepsPerRep) * kEdge * kEdge;
+  return s;
 }
 
 }  // namespace
 
-BENCHMARK(BM_AcousticInterp)->Arg(4)->Arg(8);
-BENCHMARK(BM_AcousticJit)->Arg(4)->Arg(8);
-BENCHMARK(BM_TtiInterp)->Arg(4);
-BENCHMARK(BM_TtiJit)->Arg(4);
-BENCHMARK(BM_ElasticInterp)->Arg(4);
-BENCHMARK(BM_ElasticJit)->Arg(4);
-BENCHMARK(BM_ViscoelasticInterp)->Arg(4);
-BENCHMARK(BM_ViscoelasticJit)->Arg(4);
+int main(int argc, char** argv) {
+  const int reps =
+      std::atoi(benchutil::arg_value(argc, argv, "reps", "5").c_str());
+  const std::string out_path =
+      benchutil::arg_value(argc, argv, "out", "BENCH_stencil.json");
+  const bool jit = have_cc();
+  if (!jit) {
+    std::printf("no C compiler found: JIT series skipped\n");
+  }
 
-BENCHMARK_MAIN();
+  using jitfd::models::AcousticModel;
+  using jitfd::models::ElasticModel;
+  using jitfd::models::TtiModel;
+  using jitfd::models::ViscoelasticModel;
+  constexpr auto kInterp = Operator::Backend::Interpret;
+  constexpr auto kJit = Operator::Backend::Jit;
+
+  std::vector<benchutil::MeasuredSeries> rows;
+  rows.push_back(
+      run_kernel<AcousticModel>("acoustic_interp/so4", kInterp, 4, reps));
+  rows.push_back(
+      run_kernel<AcousticModel>("acoustic_interp/so8", kInterp, 8, reps));
+  rows.push_back(run_kernel<TtiModel>("tti_interp/so4", kInterp, 4, reps));
+  rows.push_back(
+      run_kernel<ElasticModel>("elastic_interp/so4", kInterp, 4, reps));
+  rows.push_back(run_kernel<ViscoelasticModel>("viscoelastic_interp/so4",
+                                               kInterp, 4, reps));
+  if (jit) {
+    rows.push_back(
+        run_kernel<AcousticModel>("acoustic_jit/so4", kJit, 4, reps));
+    rows.push_back(
+        run_kernel<AcousticModel>("acoustic_jit/so8", kJit, 8, reps));
+    rows.push_back(run_kernel<TtiModel>("tti_jit/so4", kJit, 4, reps));
+    rows.push_back(
+        run_kernel<ElasticModel>("elastic_jit/so4", kJit, 4, reps));
+    rows.push_back(run_kernel<ViscoelasticModel>("viscoelastic_jit/so4",
+                                                 kJit, 4, reps));
+  }
+
+  for (const benchutil::MeasuredSeries& s : rows) {
+    const double med = benchutil::median_of(s.seconds);
+    const double gpts =
+        med > 0.0 ? s.counters.at("points_per_rep") / med / 1e9 : 0.0;
+    std::printf("  %-26s %9.3f ms  %8.4f GPts/s  (spread %.1f%%)\n",
+                s.name.c_str(), 1e3 * med, gpts,
+                benchutil::spread_pct_of(s.seconds));
+  }
+
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << benchutil::series_json(
+      "stencil_kernels",
+      "48^2 single-rank propagator throughput: four kernels through the "
+      "interpreter and (when a C compiler exists) the JIT backend",
+      rows, {{"edge", "48"}, {"jit_available", jit ? "true" : "false"}});
+  return 0;
+}

@@ -13,14 +13,22 @@
 //                                       # stdout, Chrome JSON to the file
 //                                       # (open in chrome://tracing or
 //                                       # https://ui.perfetto.dev)
+//   ... --analysis=analysis.json        # + cross-rank analysis report
+//                                       # (wait-state attribution,
+//                                       # imbalance; needs --trace=)
+//   ... --metrics=metrics.json          # + metrics registry dump
+//                                       # (enables metrics for the run)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "core/operator.h"
 #include "grid/function.h"
+#include "obs/analysis.h"
+#include "obs/metrics.h"
 #include "smpi/runtime.h"
 #include "symbolic/manip.h"
 
@@ -87,14 +95,23 @@ jitfd::core::RunSummary simulate(const Grid& grid, int rank, bool trace) {
 int main(int argc, char** argv) {
   int nranks = 0;
   std::string trace_path;
+  std::string analysis_path;
+  std::string metrics_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--trace=", 8) == 0) {
       trace_path = argv[i] + 8;
+    } else if (std::strncmp(argv[i], "--analysis=", 11) == 0) {
+      analysis_path = argv[i] + 11;
+    } else if (std::strncmp(argv[i], "--metrics=", 10) == 0) {
+      metrics_path = argv[i] + 10;
     } else {
       nranks = std::atoi(argv[i]);
     }
   }
   const bool trace = !trace_path.empty();
+  if (!metrics_path.empty()) {
+    obs::metrics::set_enabled(true);
+  }
 
   jitfd::core::RunSummary run;
   if (nranks > 1) {
@@ -126,6 +143,25 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
       return 1;
     }
+    if (!analysis_path.empty()) {
+      std::ofstream out(analysis_path, std::ios::binary);
+      out << obs::analysis_json(run.trace.analysis());
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", analysis_path.c_str());
+        return 1;
+      }
+      std::printf("cross-rank analysis written to %s\n",
+                  analysis_path.c_str());
+    }
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path, std::ios::binary);
+    out << obs::metrics::to_json();
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_path.c_str());
+      return 1;
+    }
+    std::printf("metrics written to %s\n", metrics_path.c_str());
   }
   return 0;
 }

@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "codegen/emit.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "symbolic/manip.h"
 
@@ -268,6 +269,10 @@ RunSummary Operator::apply(const ApplyArgs& args) {
     out.jit_compile_seconds = jit_compile_seconds_ - jit_cc_before;
     out.jit_cache_hit = jit_cache_hit_;
   }
+  static obs::metrics::Counter& applies = obs::metrics::counter("op.applies");
+  static obs::metrics::Counter& steps = obs::metrics::counter("op.steps");
+  applies.add(1);
+  steps.add(static_cast<std::uint64_t>(out.steps));
   return out;
 }
 

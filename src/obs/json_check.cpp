@@ -11,30 +11,12 @@ namespace jitfd::obs {
 
 namespace {
 
-struct JVal {
-  enum class Type { Null, Bool, Num, Str, Arr, Obj };
-  Type type = Type::Null;
-  bool boolean = false;
-  double num = 0.0;
-  std::string str;
-  std::vector<JVal> arr;
-  std::vector<std::pair<std::string, JVal>> obj;
-
-  const JVal* find(const std::string& key) const {
-    for (const auto& [k, v] : obj) {
-      if (k == key) {
-        return &v;
-      }
-    }
-    return nullptr;
-  }
-};
 
 class Parser {
  public:
   explicit Parser(std::string_view s) : s_(s) {}
 
-  bool parse(JVal& out, std::string& err) {
+  bool parse(JsonValue& out, std::string& err) {
     skip_ws();
     if (!value(out, err)) {
       return false;
@@ -68,7 +50,7 @@ class Parser {
     return false;
   }
 
-  bool value(JVal& out, std::string& err) {
+  bool value(JsonValue& out, std::string& err) {
     if (pos_ >= s_.size()) {
       err = at("unexpected end of input");
       return false;
@@ -79,25 +61,25 @@ class Parser {
       case '[':
         return array(out, err);
       case '"':
-        out.type = JVal::Type::Str;
+        out.type = JsonValue::Type::Str;
         return string(out.str, err);
       case 't':
         if (literal("true")) {
-          out.type = JVal::Type::Bool;
+          out.type = JsonValue::Type::Bool;
           out.boolean = true;
           return true;
         }
         break;
       case 'f':
         if (literal("false")) {
-          out.type = JVal::Type::Bool;
+          out.type = JsonValue::Type::Bool;
           out.boolean = false;
           return true;
         }
         break;
       case 'n':
         if (literal("null")) {
-          out.type = JVal::Type::Null;
+          out.type = JsonValue::Type::Null;
           return true;
         }
         break;
@@ -108,7 +90,7 @@ class Parser {
     return false;
   }
 
-  bool number(JVal& out, std::string& err) {
+  bool number(JsonValue& out, std::string& err) {
     const std::size_t start = pos_;
     if (pos_ < s_.size() && s_[pos_] == '-') {
       ++pos_;
@@ -148,7 +130,7 @@ class Parser {
         ++pos_;
       }
     }
-    out.type = JVal::Type::Num;
+    out.type = JsonValue::Type::Num;
     out.num = std::strtod(std::string(s_.substr(start, pos_ - start)).c_str(),
                           nullptr);
     return true;
@@ -216,8 +198,8 @@ class Parser {
     return false;
   }
 
-  bool array(JVal& out, std::string& err) {
-    out.type = JVal::Type::Arr;
+  bool array(JsonValue& out, std::string& err) {
+    out.type = JsonValue::Type::Arr;
     ++pos_;  // '['.
     skip_ws();
     if (pos_ < s_.size() && s_[pos_] == ']') {
@@ -225,7 +207,7 @@ class Parser {
       return true;
     }
     while (true) {
-      JVal v;
+      JsonValue v;
       skip_ws();
       if (!value(v, err)) {
         return false;
@@ -249,8 +231,8 @@ class Parser {
     }
   }
 
-  bool object(JVal& out, std::string& err) {
-    out.type = JVal::Type::Obj;
+  bool object(JsonValue& out, std::string& err) {
+    out.type = JsonValue::Type::Obj;
     ++pos_;  // '{'.
     skip_ws();
     if (pos_ < s_.size() && s_[pos_] == '}') {
@@ -274,7 +256,7 @@ class Parser {
       }
       ++pos_;
       skip_ws();
-      JVal v;
+      JsonValue v;
       if (!value(v, err)) {
         return false;
       }
@@ -301,10 +283,10 @@ class Parser {
   std::size_t pos_ = 0;
 };
 
-bool require_num(const JVal& ev, const std::string& key, double* out,
+bool require_num(const JsonValue& ev, const std::string& key, double* out,
                  std::string& err) {
-  const JVal* v = ev.find(key);
-  if (v == nullptr || v->type != JVal::Type::Num) {
+  const JsonValue* v = ev.find(key);
+  if (v == nullptr || v->type != JsonValue::Type::Num) {
     err = "event missing numeric \"" + key + "\"";
     return false;
   }
@@ -316,40 +298,44 @@ bool require_num(const JVal& ev, const std::string& key, double* out,
 
 }  // namespace
 
-bool json_valid(std::string_view json, std::string* error) {
-  JVal root;
+bool json_parse(std::string_view json, JsonValue& out, std::string* error) {
   std::string err;
-  const bool ok = Parser(json).parse(root, err);
+  const bool ok = Parser(json).parse(out, err);
   if (!ok && error != nullptr) {
     *error = err;
   }
   return ok;
 }
 
+bool json_valid(std::string_view json, std::string* error) {
+  JsonValue root;
+  return json_parse(json, root, error);
+}
+
 ChromeCheck validate_chrome_trace(std::string_view json) {
   ChromeCheck out;
-  JVal root;
+  JsonValue root;
   if (!Parser(json).parse(root, out.error)) {
     return out;
   }
-  if (root.type != JVal::Type::Obj) {
+  if (root.type != JsonValue::Type::Obj) {
     out.error = "top level is not an object";
     return out;
   }
-  const JVal* events = root.find("traceEvents");
-  if (events == nullptr || events->type != JVal::Type::Arr) {
+  const JsonValue* events = root.find("traceEvents");
+  if (events == nullptr || events->type != JsonValue::Type::Arr) {
     out.error = "missing \"traceEvents\" array";
     return out;
   }
-  for (const JVal& ev : events->arr) {
-    if (ev.type != JVal::Type::Obj) {
+  for (const JsonValue& ev : events->arr) {
+    if (ev.type != JsonValue::Type::Obj) {
       out.error = "trace event is not an object";
       return out;
     }
-    const JVal* name = ev.find("name");
-    const JVal* ph = ev.find("ph");
-    if (name == nullptr || name->type != JVal::Type::Str ||
-        ph == nullptr || ph->type != JVal::Type::Str || ph->str.empty()) {
+    const JsonValue* name = ev.find("name");
+    const JsonValue* ph = ev.find("ph");
+    if (name == nullptr || name->type != JsonValue::Type::Str ||
+        ph == nullptr || ph->type != JsonValue::Type::Str || ph->str.empty()) {
       out.error = "event missing string \"name\"/\"ph\"";
       return out;
     }
@@ -383,6 +369,205 @@ ChromeCheck validate_chrome_trace(std::string_view json) {
     ++out.events;
     out.tids.insert(static_cast<int>(tid));
   }
+  out.ok = true;
+  return out;
+}
+
+namespace {
+
+bool want_num(const JsonValue& obj, const std::string& key,
+              std::string& err, const std::string& where) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || v->type != JsonValue::Type::Num) {
+    err = where + " missing numeric \"" + key + "\"";
+    return false;
+  }
+  return true;
+}
+
+const JsonValue* want_obj(const JsonValue& obj, const std::string& key,
+                          std::string& err, const std::string& where) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || v->type != JsonValue::Type::Obj) {
+    err = where + " missing object \"" + key + "\"";
+    return nullptr;
+  }
+  return v;
+}
+
+const JsonValue* want_arr(const JsonValue& obj, const std::string& key,
+                          std::string& err, const std::string& where) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || v->type != JsonValue::Type::Arr) {
+    err = where + " missing array \"" + key + "\"";
+    return nullptr;
+  }
+  return v;
+}
+
+}  // namespace
+
+SchemaCheck validate_metrics_json(std::string_view json) {
+  SchemaCheck out;
+  JsonValue root;
+  if (!json_parse(json, root, &out.error)) {
+    return out;
+  }
+  if (root.type != JsonValue::Type::Obj) {
+    out.error = "top level is not an object";
+    return out;
+  }
+  const JsonValue* metrics = want_arr(root, "metrics", out.error, "document");
+  if (metrics == nullptr) {
+    return out;
+  }
+  for (const JsonValue& m : metrics->arr) {
+    if (m.type != JsonValue::Type::Obj) {
+      out.error = "metrics entry is not an object";
+      return out;
+    }
+    const JsonValue* name = m.find("name");
+    const JsonValue* type = m.find("type");
+    if (name == nullptr || name->type != JsonValue::Type::Str ||
+        name->str.empty() || type == nullptr ||
+        type->type != JsonValue::Type::Str) {
+      out.error = "metrics entry missing string \"name\"/\"type\"";
+      return out;
+    }
+    const std::string where = "metric \"" + name->str + "\"";
+    if (type->str == "counter" || type->str == "gauge") {
+      if (!want_num(m, "value", out.error, where)) {
+        return out;
+      }
+    } else if (type->str == "histogram") {
+      if (!want_num(m, "count", out.error, where) ||
+          !want_num(m, "sum", out.error, where)) {
+        return out;
+      }
+      const JsonValue* buckets = want_arr(m, "buckets", out.error, where);
+      if (buckets == nullptr) {
+        return out;
+      }
+      double prev = -1.0;
+      for (const JsonValue& b : buckets->arr) {
+        const JsonValue* count = b.find("count");
+        const JsonValue* le = b.find("le");
+        if (b.type != JsonValue::Type::Obj || count == nullptr ||
+            count->type != JsonValue::Type::Num || le == nullptr) {
+          out.error = where + " has a malformed bucket";
+          return out;
+        }
+        // Cumulative counts must be monotone non-decreasing.
+        if (count->num < prev) {
+          out.error = where + " has non-monotone bucket counts";
+          return out;
+        }
+        prev = count->num;
+      }
+    } else {
+      out.error = where + " has unknown type \"" + type->str + "\"";
+      return out;
+    }
+    ++out.items;
+  }
+  out.ok = true;
+  return out;
+}
+
+SchemaCheck validate_analysis_json(std::string_view json) {
+  SchemaCheck out;
+  JsonValue root;
+  if (!json_parse(json, root, &out.error)) {
+    return out;
+  }
+  if (root.type != JsonValue::Type::Obj) {
+    out.error = "top level is not an object";
+    return out;
+  }
+  const JsonValue* a = want_obj(root, "analysis", out.error, "document");
+  if (a == nullptr) {
+    return out;
+  }
+  for (const char* key :
+       {"nranks", "steps", "strips", "exchange_depth", "wall_seconds"}) {
+    if (!want_num(*a, key, out.error, "\"analysis\"")) {
+      return out;
+    }
+  }
+  const JsonValue* wait = want_obj(*a, "wait", out.error, "\"analysis\"");
+  if (wait == nullptr) {
+    return out;
+  }
+  for (const char* key :
+       {"late_sender_seconds", "late_receiver_seconds", "transfer_seconds",
+        "matched", "unmatched", "culprit_rank", "rendezvous_messages",
+        "queued_messages"}) {
+    if (!want_num(*wait, key, out.error, "\"wait\"")) {
+      return out;
+    }
+  }
+  const JsonValue* wait_ranks = want_arr(*wait, "ranks", out.error, "\"wait\"");
+  if (wait_ranks == nullptr) {
+    return out;
+  }
+  for (const JsonValue& r : wait_ranks->arr) {
+    for (const char* key : {"rank", "wait_seconds", "late_sender_seconds",
+                            "late_receiver_seconds", "blamed_seconds"}) {
+      if (!want_num(r, key, out.error, "wait rank row")) {
+        return out;
+      }
+    }
+  }
+  ++out.items;
+  const JsonValue* overlap = want_obj(*a, "overlap", out.error, "\"analysis\"");
+  if (overlap == nullptr) {
+    return out;
+  }
+  for (const char* key : {"async_exchanges", "window_seconds",
+                          "hidden_seconds", "efficiency"}) {
+    if (!want_num(*overlap, key, out.error, "\"overlap\"")) {
+      return out;
+    }
+  }
+  const JsonValue* eff = overlap->find("efficiency");
+  if (eff->num < 0.0 || eff->num > 1.0) {
+    out.error = "overlap efficiency outside [0, 1]";
+    return out;
+  }
+  ++out.items;
+  const JsonValue* imb = want_obj(*a, "imbalance", out.error, "\"analysis\"");
+  if (imb == nullptr) {
+    return out;
+  }
+  for (const char* key : {"max_compute_seconds", "mean_compute_seconds",
+                          "ratio", "critical_rank"}) {
+    if (!want_num(*imb, key, out.error, "\"imbalance\"")) {
+      return out;
+    }
+  }
+  const JsonValue* steps = want_arr(*imb, "steps", out.error, "\"imbalance\"");
+  if (steps == nullptr) {
+    return out;
+  }
+  for (const JsonValue& s : steps->arr) {
+    for (const char* key : {"step", "max", "mean", "critical_rank"}) {
+      if (!want_num(s, key, out.error, "imbalance step row")) {
+        return out;
+      }
+    }
+  }
+  ++out.items;
+  const JsonValue* deep = want_obj(*a, "deep_halo", out.error, "\"analysis\"");
+  if (deep == nullptr) {
+    return out;
+  }
+  for (const char* key :
+       {"exchanges", "saved_exchanges", "redundant_compute_seconds"}) {
+    if (!want_num(*deep, key, out.error, "\"deep_halo\"")) {
+      return out;
+    }
+  }
+  ++out.items;
   out.ok = true;
   return out;
 }

@@ -10,8 +10,40 @@
 #include <set>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace jitfd::obs {
+
+/// Parsed JSON value (the full grammar; numbers as double, \u escapes
+/// collapsed). Public so schema checks beyond the built-in ones —
+/// tools/perf_sentinel's bench-report comparison in particular — can
+/// walk documents without a JSON dependency.
+struct JsonValue {
+  enum class Type { Null, Bool, Num, Str, Arr, Obj };
+  Type type = Type::Null;
+  bool boolean = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::vector<std::pair<std::string, JsonValue>> obj;
+
+  /// First value of `key` in an object (nullptr when absent or not an
+  /// object).
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : obj) {
+      if (k == key) {
+        return &v;
+      }
+    }
+    return nullptr;
+  }
+};
+
+/// Strict parse of a complete JSON document. Returns false (with a
+/// position-annotated message in *error when given) on any violation.
+bool json_parse(std::string_view json, JsonValue& out,
+                std::string* error = nullptr);
 
 /// Result of validate_chrome_trace.
 struct ChromeCheck {
@@ -33,5 +65,25 @@ ChromeCheck validate_chrome_trace(std::string_view json);
 
 /// Bare JSON well-formedness check (full grammar, no schema).
 bool json_valid(std::string_view json, std::string* error = nullptr);
+
+/// Result of the metrics / analysis schema checks.
+struct SchemaCheck {
+  bool ok = false;
+  std::string error;        ///< First violation (empty when ok).
+  std::int64_t items = 0;   ///< Metrics entries / analysis sections seen.
+};
+
+/// Check the obs::metrics::to_json() schema: a top-level object with a
+/// "metrics" array whose entries carry a string "name", a "type" of
+/// counter|gauge|histogram, and the matching value fields (counters and
+/// gauges a numeric "value"; histograms numeric "count"/"sum" plus a
+/// "buckets" array of {le, count} with monotone cumulative counts).
+SchemaCheck validate_metrics_json(std::string_view json);
+
+/// Check the obs::analysis_json() schema: a top-level "analysis" object
+/// with numeric run fields and "wait" / "overlap" / "imbalance" /
+/// "deep_halo" sections (per-rank wait rows and per-step load rows
+/// included).
+SchemaCheck validate_analysis_json(std::string_view json);
 
 }  // namespace jitfd::obs

@@ -1,0 +1,274 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+
+namespace jitfd::obs::metrics {
+
+#ifndef JITFD_OBS_DISABLED
+namespace detail {
+
+namespace {
+std::uint32_t init_from_env() {
+  const char* v = std::getenv("JITFD_METRICS");
+  return (v != nullptr && v[0] != '\0' && v[0] != '0') ? 1u : 0u;
+}
+}  // namespace
+
+std::atomic<std::uint32_t> g_enabled{init_from_env()};
+
+}  // namespace detail
+#endif
+
+void set_enabled(bool on) {
+#ifndef JITFD_OBS_DISABLED
+  detail::g_enabled.store(on ? 1u : 0u, std::memory_order_relaxed);
+#else
+  (void)on;
+#endif
+}
+
+namespace {
+
+struct Instrument {
+  Snapshot::Kind kind;
+  Counter* counter = nullptr;
+  Gauge* gauge = nullptr;
+  Histogram* histogram = nullptr;
+};
+
+// The registry is leaked so rank threads that outlive static teardown
+// can still touch instruments they cached by reference.
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Instrument, std::less<>> instruments;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+template <class T>
+T& lookup(std::string_view name, Snapshot::Kind kind, T* Instrument::*slot) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.instruments.find(name);
+  if (it == r.instruments.end()) {
+    Instrument inst;
+    inst.kind = kind;
+    inst.*slot = new T();
+    it = r.instruments.emplace(std::string(name), inst).first;
+  } else if (it->second.kind != kind) {
+    throw std::logic_error("obs::metrics: instrument '" + std::string(name) +
+                           "' already registered as a different kind");
+  }
+  return *(it->second.*slot);
+}
+
+const char* kind_name(Snapshot::Kind k) {
+  switch (k) {
+    case Snapshot::Kind::Counter: return "counter";
+    case Snapshot::Kind::Gauge: return "gauge";
+    case Snapshot::Kind::Histogram: return "histogram";
+  }
+  return "?";
+}
+
+void append_double(std::ostringstream& os, double v) {
+  if (std::isfinite(v)) {
+    // Round-trippable, locale-independent enough for '.' locales; the
+    // build never changes the global locale.
+    std::ostringstream tmp;
+    tmp.precision(17);
+    tmp << v;
+    os << tmp.str();
+  } else {
+    os << "0";
+  }
+}
+
+std::string sanitize_prom(std::string_view name) {
+  std::string out = "jitfd_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+void Histogram::observe(double v) {
+  if (!enabled()) return;
+  int b = kBuckets - 1;
+  double ub = kBucketBase;
+  for (int i = 0; i < kBuckets - 1; ++i, ub *= 2.0) {
+    if (v <= ub) {
+      b = i;
+      break;
+    }
+  }
+  buckets_[static_cast<std::size_t>(b)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+double Histogram::upper_bound(int i) {
+  if (i >= kBuckets - 1) return std::numeric_limits<double>::infinity();
+  return kBucketBase * std::ldexp(1.0, i);
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+Counter& counter(std::string_view name) {
+  return lookup<Counter>(name, Snapshot::Kind::Counter, &Instrument::counter);
+}
+
+Gauge& gauge(std::string_view name) {
+  return lookup<Gauge>(name, Snapshot::Kind::Gauge, &Instrument::gauge);
+}
+
+Histogram& histogram(std::string_view name) {
+  return lookup<Histogram>(name, Snapshot::Kind::Histogram,
+                           &Instrument::histogram);
+}
+
+void reset() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& [name, inst] : r.instruments) {
+    switch (inst.kind) {
+      case Snapshot::Kind::Counter: inst.counter->reset(); break;
+      case Snapshot::Kind::Gauge: inst.gauge->reset(); break;
+      case Snapshot::Kind::Histogram: inst.histogram->reset(); break;
+    }
+  }
+}
+
+std::vector<Snapshot> snapshot() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<Snapshot> out;
+  out.reserve(r.instruments.size());
+  for (const auto& [name, inst] : r.instruments) {
+    Snapshot s;
+    s.name = name;
+    s.kind = inst.kind;
+    switch (inst.kind) {
+      case Snapshot::Kind::Counter:
+        s.count = inst.counter->value();
+        break;
+      case Snapshot::Kind::Gauge:
+        s.value = inst.gauge->value();
+        break;
+      case Snapshot::Kind::Histogram: {
+        s.count = inst.histogram->count();
+        s.value = inst.histogram->sum();
+        std::uint64_t cum = 0;
+        for (int i = 0; i < Histogram::kBuckets; ++i) {
+          cum += inst.histogram->bucket(i);
+          s.buckets.emplace_back(Histogram::upper_bound(i), cum);
+        }
+        break;
+      }
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string to_json() {
+  const std::vector<Snapshot> snaps = snapshot();
+  std::ostringstream os;
+  os << "{\n  \"metrics\": [";
+  bool first = true;
+  for (const Snapshot& s : snaps) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "    {\"name\": \"" << s.name << "\", \"type\": \""
+       << kind_name(s.kind) << "\", ";
+    switch (s.kind) {
+      case Snapshot::Kind::Counter:
+        os << "\"value\": " << s.count << "}";
+        break;
+      case Snapshot::Kind::Gauge:
+        os << "\"value\": ";
+        append_double(os, s.value);
+        os << "}";
+        break;
+      case Snapshot::Kind::Histogram: {
+        os << "\"count\": " << s.count << ", \"sum\": ";
+        append_double(os, s.value);
+        os << ", \"buckets\": [";
+        bool bf = true;
+        for (const auto& [le, cum] : s.buckets) {
+          if (!bf) os << ", ";
+          bf = false;
+          os << "{\"le\": ";
+          if (std::isinf(le)) {
+            os << "\"+Inf\"";
+          } else {
+            append_double(os, le);
+          }
+          os << ", \"count\": " << cum << "}";
+        }
+        os << "]}";
+        break;
+      }
+    }
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
+std::string to_prometheus() {
+  const std::vector<Snapshot> snaps = snapshot();
+  std::ostringstream os;
+  for (const Snapshot& s : snaps) {
+    const std::string prom = sanitize_prom(s.name);
+    os << "# TYPE " << prom << " " << kind_name(s.kind) << "\n";
+    switch (s.kind) {
+      case Snapshot::Kind::Counter:
+        os << prom << " " << s.count << "\n";
+        break;
+      case Snapshot::Kind::Gauge:
+        os << prom << " ";
+        append_double(os, s.value);
+        os << "\n";
+        break;
+      case Snapshot::Kind::Histogram: {
+        for (const auto& [le, cum] : s.buckets) {
+          os << prom << "_bucket{le=\"";
+          if (std::isinf(le)) {
+            os << "+Inf";
+          } else {
+            std::ostringstream tmp;
+            tmp.precision(17);
+            tmp << le;
+            os << tmp.str();
+          }
+          os << "\"} " << cum << "\n";
+        }
+        os << prom << "_sum ";
+        append_double(os, s.value);
+        os << "\n";
+        os << prom << "_count " << s.count << "\n";
+        break;
+      }
+    }
+  }
+  return os.str();
+}
+
+}  // namespace jitfd::obs::metrics

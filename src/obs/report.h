@@ -27,6 +27,8 @@
 
 namespace jitfd::obs {
 
+struct AnalysisReport;  // obs/analysis.h
+
 /// Per-rank phase accounting distilled from a TraceData snapshot. Halo
 /// phases come from the leaf spans (halo.pack/send/wait/unpack);
 /// compute comes from the interpreter's compute spans, or, for JIT
@@ -91,6 +93,9 @@ class TraceHandle {
   TraceData data() const { return active_ ? collect() : TraceData{}; }
   RunProfile profile() const { return profile_from(data()); }
   std::string summary() const { return summary_table(data()); }
+  /// Cross-rank analysis (wait-state attribution, overlap efficiency,
+  /// imbalance, strip accounting); callers include obs/analysis.h.
+  AnalysisReport analysis() const;
   bool write_chrome(const std::string& path) const {
     return active_ && write_chrome_trace_file(path, data());
   }

@@ -1,0 +1,176 @@
+#include "obs/sentinel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "obs/json_check.h"
+
+namespace jitfd::obs {
+
+namespace {
+
+struct Series {
+  double median_seconds = 0.0;
+  double spread_pct = 0.0;
+  std::map<std::string, double> counters;
+};
+
+// Fields of a series entry that are not free-form counters.
+bool reserved_key(const std::string& k) {
+  return k == "name" || k == "repetitions" || k == "median_seconds" ||
+         k == "spread_pct";
+}
+
+bool load_series(std::string_view json, std::map<std::string, Series>& out,
+                 std::string& err, const char* label) {
+  JsonValue root;
+  std::string perr;
+  if (!json_parse(json, root, &perr)) {
+    err = std::string(label) + ": " + perr;
+    return false;
+  }
+  if (root.type != JsonValue::Type::Obj) {
+    err = std::string(label) + ": top level is not an object";
+    return false;
+  }
+  const JsonValue* series = root.find("series");
+  if (series == nullptr || series->type != JsonValue::Type::Arr) {
+    err = std::string(label) + ": missing \"series\" array";
+    return false;
+  }
+  for (const JsonValue& s : series->arr) {
+    const JsonValue* name = s.find("name");
+    const JsonValue* med = s.find("median_seconds");
+    if (s.type != JsonValue::Type::Obj || name == nullptr ||
+        name->type != JsonValue::Type::Str || med == nullptr ||
+        med->type != JsonValue::Type::Num) {
+      err = std::string(label) +
+            ": series entry missing \"name\"/\"median_seconds\"";
+      return false;
+    }
+    Series entry;
+    entry.median_seconds = med->num;
+    if (const JsonValue* sp = s.find("spread_pct");
+        sp != nullptr && sp->type == JsonValue::Type::Num) {
+      entry.spread_pct = sp->num;
+    }
+    for (const auto& [k, v] : s.obj) {
+      if (!reserved_key(k) && v.type == JsonValue::Type::Num) {
+        entry.counters[k] = v.num;
+      }
+    }
+    out[name->str] = std::move(entry);
+  }
+  return true;
+}
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+SentinelResult sentinel_compare(std::string_view baseline_json,
+                                std::string_view fresh_json,
+                                const SentinelOptions& opts) {
+  SentinelResult res;
+  std::map<std::string, Series> baseline;
+  std::map<std::string, Series> fresh;
+  if (!load_series(baseline_json, baseline, res.error, "baseline") ||
+      !load_series(fresh_json, fresh, res.error, "fresh")) {
+    return res;
+  }
+  if (baseline.empty()) {
+    res.error = "baseline: no series to compare";
+    return res;
+  }
+
+  for (const auto& [name, base] : baseline) {
+    ++res.series_checked;
+    const auto it = fresh.find(name);
+    if (it == fresh.end()) {
+      res.failures.push_back("series \"" + name +
+                             "\" missing from fresh report");
+      continue;
+    }
+    const Series& f = it->second;
+    const double fresh_median = f.median_seconds * opts.scale_fresh;
+
+    if (base.median_seconds >= opts.min_seconds &&
+        base.median_seconds > 0.0) {
+      const double band =
+          opts.tolerance_pct + std::max(base.spread_pct, f.spread_pct);
+      const double limit = base.median_seconds * (1.0 + band / 100.0);
+      if (fresh_median > limit) {
+        const double pct =
+            100.0 * (fresh_median / base.median_seconds - 1.0);
+        res.failures.push_back(
+            "series \"" + name + "\" regressed: " + fmt(fresh_median) +
+            "s vs baseline " + fmt(base.median_seconds) + "s (+" + fmt(pct) +
+            "%, allowed +" + fmt(band) + "%)");
+        continue;
+      }
+      res.notes.push_back("series \"" + name + "\": " + fmt(fresh_median) +
+                          "s vs " + fmt(base.median_seconds) + "s (allowed +" +
+                          fmt(band) + "%) ok");
+    } else {
+      res.notes.push_back("series \"" + name +
+                          "\": baseline below min-seconds, timing skipped");
+    }
+
+    if (opts.check_counters) {
+      bool counters_ok = true;
+      for (const auto& [key, want] : base.counters) {
+        const auto cit = f.counters.find(key);
+        if (cit == f.counters.end()) {
+          res.failures.push_back("series \"" + name +
+                                 "\" lost counter \"" + key + "\"");
+          counters_ok = false;
+          continue;
+        }
+        const double got = cit->second;
+        const double tol =
+            std::abs(want) * opts.counter_tolerance_pct / 100.0;
+        if (std::abs(got - want) > tol) {
+          res.failures.push_back("series \"" + name + "\" counter \"" + key +
+                                 "\" drifted: " + fmt(got) + " vs baseline " +
+                                 fmt(want));
+          counters_ok = false;
+        }
+      }
+      if (counters_ok && !base.counters.empty()) {
+        res.notes.push_back("series \"" + name + "\": " +
+                            std::to_string(base.counters.size()) +
+                            " counters match");
+      }
+    }
+  }
+
+  res.ok = res.failures.empty();
+  return res;
+}
+
+std::string SentinelResult::report() const {
+  std::ostringstream os;
+  if (!error.empty()) {
+    os << "perf_sentinel: error: " << error << "\n";
+    return os.str();
+  }
+  for (const std::string& n : notes) {
+    os << "  " << n << "\n";
+  }
+  for (const std::string& f : failures) {
+    os << "  FAIL: " << f << "\n";
+  }
+  os << "perf_sentinel: " << series_checked << " series checked, "
+     << failures.size() << " regression" << (failures.size() == 1 ? "" : "s")
+     << (ok ? " — ok" : " — FAIL") << "\n";
+  return os.str();
+}
+
+}  // namespace jitfd::obs

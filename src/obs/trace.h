@@ -47,6 +47,10 @@ enum class Cat : std::uint8_t {
   Run,      ///< apply()-level and per-timestep umbrella spans.
 };
 
+/// Number of categories. Cat::Run must stay the last enumerator; the
+/// exhaustive to_string test iterates [0, kCatCount).
+inline constexpr int kCatCount = static_cast<int>(Cat::Run) + 1;
+
 const char* to_string(Cat cat);
 
 /// One recorded event. `name` must be a string literal (stored by

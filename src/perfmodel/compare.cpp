@@ -4,6 +4,7 @@
 #include <iomanip>
 #include <sstream>
 
+#include "obs/analysis.h"
 #include "obs/report.h"
 
 namespace jitfd::perf {
@@ -23,6 +24,23 @@ MeasuredRun measured_from(const obs::RunProfile& profile,
   m.comm_fraction = profile.comm_fraction();
   m.messages = profile.messages();
   m.halo_bytes = profile.bytes_sent();
+  return m;
+}
+
+MeasuredRun measured_from(const obs::RunProfile& profile,
+                          const obs::AnalysisReport& analysis,
+                          const std::string& kernel, ir::MpiMode mode,
+                          int so, std::int64_t points_updated,
+                          std::int64_t steps) {
+  MeasuredRun m =
+      measured_from(profile, kernel, mode, so, points_updated, steps);
+  m.has_analysis = true;
+  m.exchange_depth = analysis.exchange_depth;
+  m.overlap_efficiency = analysis.overlap_efficiency;
+  m.imbalance_ratio = analysis.imbalance_ratio;
+  m.redundant_seconds = analysis.redundant_compute_s;
+  m.late_sender_seconds = analysis.late_sender_s;
+  m.late_receiver_seconds = analysis.late_receiver_s;
   return m;
 }
 
@@ -160,6 +178,21 @@ Comparison compare_run(const MeasuredRun& measured, const ScalingModel& model,
     c.predicted_comm_fraction =
         std::clamp(comm / pt.step_seconds, 0.0, 1.0);
   }
+  // Overlap ceiling: the full pattern can hide at most min(t_comp,
+  // t_net) of the network time under the stencil loops; other patterns
+  // block, so their overlap is structurally zero.
+  if (measured.mode == ir::MpiMode::Full && pt.t_net > 0.0) {
+    c.predicted_overlap_efficiency =
+        std::clamp(std::min(pt.t_comp, pt.t_net) / pt.t_net, 0.0, 1.0);
+  }
+  c.predicted_redundant_step_seconds = pt.t_redundant;
+  if (measured.has_analysis && measured.steps > 0 && measured.ranks > 0) {
+    // The analyzer's total over all ranks and strips, normalized to the
+    // model's per-step per-rank convention.
+    c.measured_redundant_step_seconds =
+        measured.redundant_seconds /
+        static_cast<double>(measured.steps * measured.ranks);
+  }
   return c;
 }
 
@@ -169,7 +202,8 @@ std::string comparison_table(const std::vector<Comparison>& rows) {
      << "k" << std::setw(12) << "GPts/s" << std::setw(12) << "model"
      << std::setw(11) << "comm%" << std::setw(11) << "model%" << std::setw(12)
      << "msgs" << std::setw(12) << "expected" << std::setw(14) << "MB/step"
-     << std::setw(14) << "model MB" << '\n';
+     << std::setw(14) << "model MB" << std::setw(9) << "ovl%"
+     << std::setw(10) << "model%" << '\n';
   os << std::fixed;
   for (const Comparison& c : rows) {
     os << std::left << std::setw(10) << ir::to_string(c.measured.mode)
@@ -182,7 +216,9 @@ std::string comparison_table(const std::vector<Comparison>& rows) {
        << c.measured.messages << std::setw(12) << c.expected_messages
        << std::setprecision(3) << std::setw(14)
        << c.measured_bytes_per_step / 1e6 << std::setw(14)
-       << c.predicted_bytes_per_step / 1e6
+       << c.predicted_bytes_per_step / 1e6 << std::setprecision(1)
+       << std::setw(8) << 100.0 * c.measured.overlap_efficiency << "%"
+       << std::setw(9) << 100.0 * c.predicted_overlap_efficiency << "%"
        << (c.messages_match() ? "" : "   << MESSAGE MISMATCH") << '\n';
   }
   return os.str();
@@ -215,7 +251,22 @@ std::string comparison_json(const std::vector<Comparison>& rows) {
        << "      \"measured_bytes_per_step\": " << c.measured_bytes_per_step
        << ",\n"
        << "      \"predicted_bytes_per_step\": "
-       << c.predicted_bytes_per_step << "\n"
+       << c.predicted_bytes_per_step << ",\n"
+       << "      \"has_analysis\": "
+       << (c.measured.has_analysis ? "true" : "false") << ",\n"
+       << "      \"measured_overlap_efficiency\": "
+       << c.measured.overlap_efficiency << ",\n"
+       << "      \"predicted_overlap_efficiency\": "
+       << c.predicted_overlap_efficiency << ",\n"
+       << "      \"imbalance_ratio\": " << c.measured.imbalance_ratio << ",\n"
+       << "      \"late_sender_seconds\": " << c.measured.late_sender_seconds
+       << ",\n"
+       << "      \"late_receiver_seconds\": "
+       << c.measured.late_receiver_seconds << ",\n"
+       << "      \"measured_redundant_step_seconds\": "
+       << c.measured_redundant_step_seconds << ",\n"
+       << "      \"predicted_redundant_step_seconds\": "
+       << c.predicted_redundant_step_seconds << "\n"
        << "    }" << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";

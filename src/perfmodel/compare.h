@@ -24,6 +24,7 @@
 
 namespace jitfd::obs {
 struct RunProfile;
+struct AnalysisReport;
 }
 
 namespace jitfd::perf {
@@ -45,11 +46,28 @@ struct MeasuredRun {
   double comm_fraction = 0.0;
   std::uint64_t messages = 0;
   std::uint64_t halo_bytes = 0;
+  // Cross-rank diagnostics (filled by the AnalysisReport overload of
+  // measured_from; zero/false otherwise).
+  bool has_analysis = false;
+  double overlap_efficiency = 0.0;  ///< Full pattern: comm hidden / comm wall.
+  double imbalance_ratio = 0.0;     ///< Max/mean compute across ranks.
+  double redundant_seconds = 0.0;   ///< Deep-halo ghost-extension excess.
+  double late_sender_seconds = 0.0;
+  double late_receiver_seconds = 0.0;
 };
 
 /// Lift an obs::RunProfile into a MeasuredRun. `steps` overrides the
 /// traced step count when nonzero (JIT runs record no per-step spans).
 MeasuredRun measured_from(const obs::RunProfile& profile,
+                          const std::string& kernel, ir::MpiMode mode,
+                          int so, std::int64_t points_updated,
+                          std::int64_t steps = 0);
+
+/// As above, but also fold in the cross-rank AnalysisReport (overlap
+/// efficiency, imbalance, wait-state split, deep-halo redundancy) so
+/// the comparison can juxtapose them against the model's predictions.
+MeasuredRun measured_from(const obs::RunProfile& profile,
+                          const obs::AnalysisReport& analysis,
                           const std::string& kernel, ir::MpiMode mode,
                           int so, std::int64_t points_updated,
                           std::int64_t steps = 0);
@@ -72,6 +90,14 @@ struct Comparison {
   std::uint64_t expected_messages = 0;  ///< Table I x fields x spots x strips.
   double measured_bytes_per_step = 0.0;
   double predicted_bytes_per_step = 0.0;  ///< Model halo volume, all ranks.
+  /// Model's overlap ceiling for the full pattern: the fraction of
+  /// network time hideable under compute, min(t_comp, t_net) / t_net
+  /// (0 for patterns without compute/comm overlap).
+  double predicted_overlap_efficiency = 0.0;
+  /// Deep-halo redundancy per step per rank, measured (from the
+  /// analyzer's strip accounting) vs. the model's t_redundant.
+  double measured_redundant_step_seconds = 0.0;
+  double predicted_redundant_step_seconds = 0.0;
 
   bool messages_match() const {
     return expected_messages == measured.messages;

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace jitfd::runtime {
@@ -309,6 +310,8 @@ void HaloExchange::update(int spot, std::int64_t time) {
     complete_star(s, time);
   }
   ++stats_.updates;
+  static obs::metrics::Counter& ex = obs::metrics::counter("halo.exchanges");
+  ex.add(1);
   if (!s.hoisted) {
     stats_.steps_covered += static_cast<std::uint64_t>(exchange_depth_);
   }
@@ -359,6 +362,12 @@ void HaloExchange::update_basic(Spot& s, std::int64_t time) {
         }
         ++stats_.messages;
         stats_.bytes_sent += dp.send_buf.size() * sizeof(float);
+        static obs::metrics::Counter& msgs =
+            obs::metrics::counter("halo.messages");
+        static obs::metrics::Counter& sent =
+            obs::metrics::counter("halo.bytes_sent");
+        msgs.add(1);
+        sent.add(dp.send_buf.size() * sizeof(float));
       }
       for (std::size_t i = 0; i < faces.size(); ++i) {
         obs::Span wp("halo.wait", obs::Cat::Wait, 0, faces[i].neighbor);
@@ -406,6 +415,12 @@ void HaloExchange::post_star(Spot& s, std::int64_t time) {
       }
       ++stats_.messages;
       stats_.bytes_sent += dp.send_buf.size() * sizeof(float);
+      static obs::metrics::Counter& msgs =
+          obs::metrics::counter("halo.messages");
+      static obs::metrics::Counter& sent =
+          obs::metrics::counter("halo.bytes_sent");
+      msgs.add(1);
+      sent.add(dp.send_buf.size() * sizeof(float));
     }
   }
   s.in_flight = true;
@@ -413,13 +428,20 @@ void HaloExchange::post_star(Spot& s, std::int64_t time) {
 }
 
 void HaloExchange::complete_star(Spot& s, std::int64_t time) {
-  for (smpi::Request& r : s.pending) {
-    obs::Span wp("halo.wait", obs::Cat::Wait);
-    const smpi::Status st = r.wait();
-    wp.set_arg(static_cast<std::int64_t>(st.bytes));
-    wp.close();
-    stats_.bytes_received += st.bytes;
+  // s.pending was filled by post_star in fields x dirs order; walk the
+  // same order so every wait span carries its peer rank (the cross-rank
+  // analyzer matches waits against the peer's sends by that id).
+  std::size_t i = 0;
+  for (const FieldPlan& plan : s.fields) {
+    for (const DirPlan& dp : plan.dirs) {
+      obs::Span wp("halo.wait", obs::Cat::Wait, 0, dp.neighbor);
+      const smpi::Status st = s.pending.at(i++).wait();
+      wp.set_arg(static_cast<std::int64_t>(st.bytes));
+      wp.close();
+      stats_.bytes_received += st.bytes;
+    }
   }
+  assert(i == s.pending.size());
   s.pending.clear();
   for (FieldPlan& plan : s.fields) {
     const int buf = buffer_index(*plan.fn, plan.time_offset, time);
@@ -442,6 +464,8 @@ void HaloExchange::start(int spot, std::int64_t time) {
   Spot& s = spots_.at(static_cast<std::size_t>(spot));
   post_star(s, time);
   ++stats_.starts;
+  static obs::metrics::Counter& ex = obs::metrics::counter("halo.exchanges");
+  ex.add(1);
   if (!s.hoisted) {
     stats_.steps_covered += static_cast<std::uint64_t>(exchange_depth_);
   }
@@ -476,6 +500,14 @@ void HaloExchange::sync_transport_stats() {
   stats_.pool_hits = pool.hits;
   stats_.pool_misses = pool.misses;
   stats_.copies_per_message = world.transport().copies_per_message();
+  static obs::metrics::Gauge& hits = obs::metrics::gauge("smpi.pool_hits");
+  static obs::metrics::Gauge& misses =
+      obs::metrics::gauge("smpi.pool_misses");
+  static obs::metrics::Gauge& cpm =
+      obs::metrics::gauge("halo.copies_per_message");
+  hits.set(static_cast<double>(stats_.pool_hits));
+  misses.set(static_cast<double>(stats_.pool_misses));
+  cpm.set(stats_.copies_per_message);
 }
 
 }  // namespace jitfd::runtime

@@ -1,9 +1,12 @@
 #include "runtime/interpreter.h"
 
 #include <cassert>
+#include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <functional>
 #include <stdexcept>
+#include <thread>
 
 #include "obs/trace.h"
 
@@ -411,6 +414,29 @@ void Interpreter::run(std::int64_t time_m, std::int64_t time_M,
     scalar_values_[static_cast<std::size_t>(slot)] = it->second;
   }
 
+  // Constructed-imbalance hook for the wait-state analyzer: when
+  // JITFD_DELAY_RANK names this rank, every timestep's compute is
+  // padded by JITFD_DELAY_US microseconds. Re-read per run (not cached)
+  // so tests can retarget the slow rank between runs.
+  std::int64_t delay_us = 0;
+  {
+    const char* dr = std::getenv("JITFD_DELAY_RANK");
+    const char* du = std::getenv("JITFD_DELAY_US");
+    if (dr != nullptr && du != nullptr) {
+      const grid::Grid& g = fields_->all().front()->grid();
+      const int rank = g.distributed() ? g.cart()->comm().rank() : 0;
+      if (std::atoi(dr) == rank) {
+        delay_us = std::atol(du);
+      }
+    }
+  }
+  const auto step_delay = [&](std::int64_t t) {
+    if (delay_us > 0) {
+      const obs::Span span("compute.delay", obs::Cat::Compute, t);
+      std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+    }
+  };
+
   // Execute: prologue statements and hoisted exchanges, then the time loop.
   time_ = time_m;
   // Halo and sparse nodes trace themselves; everything else in a step
@@ -445,6 +471,7 @@ void Interpreter::run(std::int64_t time_m, std::int64_t time_M,
       for (std::int64_t t = time_m; t <= time_M; ++t) {
         time_ = t;
         const obs::Span step("step", obs::Cat::Run, t);
+        step_delay(t);
         run_step_children(top->body, t);
       }
       continue;
@@ -466,6 +493,7 @@ void Interpreter::run(std::int64_t time_m, std::int64_t time_M,
         }
         time_ = strip + child->time_shift;
         const obs::Span step("step", obs::Cat::Run, time_);
+        step_delay(time_);
         run_step_children(child->body, time_);
       }
     }

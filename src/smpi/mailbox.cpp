@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace smpi {
@@ -67,6 +68,9 @@ void Mailbox::deliver(int source, int tag, Channel channel, const void* data,
       counters_->bytes_delivered.fetch_add(bytes, std::memory_order_relaxed);
       jitfd::obs::instant("msg.queued", jitfd::obs::Cat::Msg,
                           static_cast<std::int64_t>(bytes), source);
+      static jitfd::obs::metrics::Counter& queued =
+          jitfd::obs::metrics::counter("smpi.queued_messages");
+      queued.add(1);
       return;
     }
     match = *it;
@@ -81,6 +85,9 @@ void Mailbox::deliver(int source, int tag, Channel channel, const void* data,
   counters_->bytes_delivered.fetch_add(bytes, std::memory_order_relaxed);
   jitfd::obs::instant("msg.rendezvous", jitfd::obs::Cat::Msg,
                       static_cast<std::int64_t>(bytes), source);
+  static jitfd::obs::metrics::Counter& rendezvous =
+      jitfd::obs::metrics::counter("smpi.rendezvous_messages");
+  rendezvous.add(1);
 }
 
 void Mailbox::post_recv(const std::shared_ptr<OpState>& op) {

@@ -5,6 +5,7 @@
 // expectation exactly).
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <thread>
 
 #include "core/operator.h"
@@ -165,8 +166,10 @@ struct TracedRun {
   std::int64_t global_points = 0;
 };
 
-TracedRun traced_diffusion(int nranks, ir::MpiMode mode, std::int64_t n,
-                           int steps, int exchange_depth = 1) {
+TracedRun traced_diffusion(
+    int nranks, ir::MpiMode mode, std::int64_t n, int steps,
+    int exchange_depth = 1,
+    Operator::Backend backend = Operator::Backend::Interpret) {
   TracedRun out;
   out.global_points = n * n;
   obs::reset();
@@ -182,6 +185,7 @@ TracedRun traced_diffusion(int nranks, ir::MpiMode mode, std::int64_t n,
     Operator op({ir::Eq(u.forward(), sym::solve(u.dt() - u.laplace(),
                                                 sym::Ex(0), u.forward()))},
                 opts);
+    op.set_default_backend(backend);
     const auto run = op.apply({.time_m = 0,
                                .time_M = steps - 1,
                                .scalars = {{"dt", 1e-3}},
@@ -369,6 +373,67 @@ TEST(Table1, DeepHaloExpectationScalesWithStrips) {
   EXPECT_TRUE(obs::json_valid(json, &err)) << err;
   const std::string table = perf::comparison_table({cmp});
   EXPECT_NE(table.find("diagonal"), std::string::npos) << table;
+}
+
+TEST(Trace, CatToStringIsExhaustiveAndDistinct) {
+  // Every enumerator in [0, kCatCount) must map to a real name — "?" is
+  // the out-of-range fallback — and no two categories may share one
+  // (they are aggregation keys). Guards the enum against a new category
+  // being appended without updating to_string or kCatCount.
+  std::set<std::string> seen;
+  for (int i = 0; i < obs::kCatCount; ++i) {
+    const char* name = obs::to_string(static_cast<obs::Cat>(i));
+    ASSERT_NE(name, nullptr);
+    EXPECT_STRNE(name, "?") << "category " << i << " has no name";
+    EXPECT_TRUE(seen.insert(name).second)
+        << "category " << i << " duplicates name \"" << name << "\"";
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(obs::kCatCount));
+  EXPECT_EQ(obs::to_string(obs::Cat::Run), std::string("run"));
+  // Out-of-range values hit the fallback rather than UB.
+  EXPECT_STREQ(obs::to_string(static_cast<obs::Cat>(obs::kCatCount)), "?");
+}
+
+TEST(TraceExport, JitProfileAttributionMatchesInterpreter) {
+  if (!obs_built()) {
+    GTEST_SKIP() << "built with JITFD_OBS=OFF";
+  }
+  if (std::system("cc --version > /dev/null 2>&1") != 0) {
+    GTEST_SKIP() << "no C compiler available";
+  }
+  // The same 4-rank diffusion through both backends. JIT ranks record
+  // no per-step or compute spans — their compute is derived from the
+  // jit.run umbrella minus the halo callbacks — so the profiles must
+  // agree on every deterministic dimension (messages, bytes) while the
+  // JIT side still reports a positive, wall-bounded compute split.
+  const std::int64_t n = 12;
+  const int steps = 4;
+  const TracedRun interp =
+      traced_diffusion(4, ir::MpiMode::Basic, n, steps, 1,
+                       Operator::Backend::Interpret);
+  const obs::RunProfile pi = interp.rank0.trace.profile();
+  const TracedRun jit = traced_diffusion(4, ir::MpiMode::Basic, n, steps, 1,
+                                         Operator::Backend::Jit);
+  const obs::RunProfile pj = jit.rank0.trace.profile();
+
+  ASSERT_EQ(pi.ranks.size(), 4U);
+  ASSERT_EQ(pj.ranks.size(), 4U);
+  // Deterministic dimensions match exactly across backends.
+  EXPECT_EQ(pj.messages(), pi.messages());
+  EXPECT_EQ(pj.bytes_sent(), pi.bytes_sent());
+  // The interpreter counts steps from per-step spans; the generated
+  // loop records none, so its steps come out zero and compute falls
+  // back to the umbrella split.
+  EXPECT_EQ(pi.steps(), static_cast<std::uint64_t>(steps));
+  EXPECT_EQ(pj.steps(), 0U);
+  for (const obs::RankProfile& r : pj.ranks) {
+    EXPECT_GT(r.compute_s, 0.0) << "jit rank " << r.rank;
+    EXPECT_LE(r.compute_s, r.wall_s) << "jit rank " << r.rank;
+    EXPECT_GT(r.comm_s(), 0.0) << "jit rank " << r.rank;
+  }
+  // Both feed the same comm_fraction contract.
+  EXPECT_GT(pj.comm_fraction(), 0.0);
+  EXPECT_LE(pj.comm_fraction(), 1.0);
 }
 
 TEST(TraceJson, ValidatorAcceptsAndRejects) {

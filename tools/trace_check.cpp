@@ -1,11 +1,13 @@
-// trace_check: CI gate validating a Chrome trace-event JSON file
-// produced by the obs subsystem (examples/quickstart --trace=..., or any
-// RunSummary::trace.write_chrome()).
+// trace_check: CI gate validating observability artifacts.
 //
 //   trace_check <trace.json> [--min-ranks N] [--min-events N]
+//               [--metrics FILE] [--analysis FILE]
 //
-// Exits 0 when the file parses as JSON, satisfies the trace-event
-// schema, and meets the optional rank/event floors; prints the first
+// The positional file is a Chrome trace-event JSON (from
+// examples/quickstart --trace=..., or any RunSummary trace handle's
+// write_chrome()). --metrics validates an obs::metrics::to_json()
+// export and --analysis an obs::analysis_json() report against their
+// schemas. Exits 0 when every given file passes; prints the first
 // violation and exits 1 otherwise.
 #include <cstdlib>
 #include <fstream>
@@ -15,8 +17,25 @@
 
 #include "obs/json_check.h"
 
+namespace {
+
+bool slurp(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   std::string path;
+  std::string metrics_path;
+  std::string analysis_path;
   int min_ranks = 1;
   long min_events = 1;
   for (int i = 1; i < argc; ++i) {
@@ -25,46 +44,82 @@ int main(int argc, char** argv) {
       min_ranks = std::atoi(argv[++i]);
     } else if (arg == "--min-events" && i + 1 < argc) {
       min_events = std::atol(argv[++i]);
+    } else if (arg == "--metrics" && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (arg == "--analysis" && i + 1 < argc) {
+      analysis_path = argv[++i];
     } else if (path.empty() && arg[0] != '-') {
       path = arg;
     } else {
       std::cerr << "usage: trace_check <trace.json> [--min-ranks N] "
-                   "[--min-events N]\n";
+                   "[--min-events N] [--metrics FILE] [--analysis FILE]\n";
       return 2;
     }
   }
-  if (path.empty()) {
+  if (path.empty() && metrics_path.empty() && analysis_path.empty()) {
     std::cerr << "trace_check: no input file\n";
     return 2;
   }
 
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    std::cerr << "trace_check: cannot open " << path << '\n';
-    return 1;
+  if (!path.empty()) {
+    std::string json;
+    if (!slurp(path, json)) {
+      std::cerr << "trace_check: cannot open " << path << '\n';
+      return 1;
+    }
+    const jitfd::obs::ChromeCheck check =
+        jitfd::obs::validate_chrome_trace(json);
+    if (!check.ok) {
+      std::cerr << "trace_check: " << path << ": " << check.error << '\n';
+      return 1;
+    }
+    if (static_cast<int>(check.tids.size()) < min_ranks) {
+      std::cerr << "trace_check: " << path << ": expected >= " << min_ranks
+                << " rank tracks, found " << check.tids.size() << '\n';
+      return 1;
+    }
+    if (check.events < min_events) {
+      std::cerr << "trace_check: " << path << ": expected >= " << min_events
+                << " events, found " << check.events << '\n';
+      return 1;
+    }
+    std::cout << "trace_check: " << path << ": ok (" << check.events
+              << " events, " << check.complete << " spans, " << check.instants
+              << " instants, " << check.tids.size() << " rank tracks)\n";
   }
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  const std::string json = ss.str();
 
-  const jitfd::obs::ChromeCheck check =
-      jitfd::obs::validate_chrome_trace(json);
-  if (!check.ok) {
-    std::cerr << "trace_check: " << path << ": " << check.error << '\n';
-    return 1;
+  if (!metrics_path.empty()) {
+    std::string json;
+    if (!slurp(metrics_path, json)) {
+      std::cerr << "trace_check: cannot open " << metrics_path << '\n';
+      return 1;
+    }
+    const jitfd::obs::SchemaCheck check =
+        jitfd::obs::validate_metrics_json(json);
+    if (!check.ok) {
+      std::cerr << "trace_check: " << metrics_path << ": " << check.error
+                << '\n';
+      return 1;
+    }
+    std::cout << "trace_check: " << metrics_path << ": ok (" << check.items
+              << " metrics)\n";
   }
-  if (static_cast<int>(check.tids.size()) < min_ranks) {
-    std::cerr << "trace_check: " << path << ": expected >= " << min_ranks
-              << " rank tracks, found " << check.tids.size() << '\n';
-    return 1;
+
+  if (!analysis_path.empty()) {
+    std::string json;
+    if (!slurp(analysis_path, json)) {
+      std::cerr << "trace_check: cannot open " << analysis_path << '\n';
+      return 1;
+    }
+    const jitfd::obs::SchemaCheck check =
+        jitfd::obs::validate_analysis_json(json);
+    if (!check.ok) {
+      std::cerr << "trace_check: " << analysis_path << ": " << check.error
+                << '\n';
+      return 1;
+    }
+    std::cout << "trace_check: " << analysis_path << ": ok (" << check.items
+              << " sections)\n";
   }
-  if (check.events < min_events) {
-    std::cerr << "trace_check: " << path << ": expected >= " << min_events
-              << " events, found " << check.events << '\n';
-    return 1;
-  }
-  std::cout << "trace_check: " << path << ": ok (" << check.events
-            << " events, " << check.complete << " spans, " << check.instants
-            << " instants, " << check.tids.size() << " rank tracks)\n";
   return 0;
 }
