@@ -16,6 +16,7 @@
 #include <fstream>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_util.h"
@@ -30,7 +31,10 @@ using jitfd::core::Operator;
 using jitfd::grid::Grid;
 
 constexpr std::int64_t kEdge = 48;
-constexpr int kStepsPerRep = 5;
+// A multiple of the health-probe interval below, so every rep of the
+// health series amortizes exactly one check (5 steps would put a check
+// in only 5 of 8 reps and make the median rep meaningless).
+constexpr int kStepsPerRep = 8;
 
 bool have_cc() {
   static const bool ok = std::system("cc --version > /dev/null 2>&1") == 0;
@@ -40,7 +44,8 @@ bool have_cc() {
 template <typename Model>
 benchutil::MeasuredSeries run_kernel(const std::string& name,
                                      Operator::Backend backend, int so,
-                                     int reps) {
+                                     int reps,
+                                     std::int64_t health_interval = 0) {
   const Grid g({kEdge, kEdge}, {1.0, 1.0});
   Model model(g, so);
   model.wavefield().fill_global_box(
@@ -51,7 +56,8 @@ benchutil::MeasuredSeries run_kernel(const std::string& name,
   const double dt = model.critical_dt();
   std::int64_t time = 0;
   // Warm up (forces the JIT compile outside the timed loop).
-  op->apply({.time_m = time, .time_M = time, .scalars = model.scalars(dt)});
+  op->apply({.time_m = time, .time_M = time, .scalars = model.scalars(dt),
+             .health_interval = health_interval});
   ++time;
 
   benchutil::MeasuredSeries s;
@@ -59,7 +65,8 @@ benchutil::MeasuredSeries run_kernel(const std::string& name,
   for (int r = 0; r < reps; ++r) {
     const auto t0 = std::chrono::steady_clock::now();
     op->apply({.time_m = time, .time_M = time + kStepsPerRep - 1,
-               .scalars = model.scalars(dt)});
+               .scalars = model.scalars(dt),
+               .health_interval = health_interval});
     const auto t1 = std::chrono::steady_clock::now();
     time += kStepsPerRep;
     s.seconds.push_back(std::chrono::duration<double>(t1 - t0).count());
@@ -71,6 +78,9 @@ benchutil::MeasuredSeries run_kernel(const std::string& name,
   s.counters["steps_per_rep"] = kStepsPerRep;
   s.counters["points_per_rep"] =
       static_cast<double>(kStepsPerRep) * kEdge * kEdge;
+  if (health_interval > 0) {
+    s.counters["health_interval"] = static_cast<double>(health_interval);
+  }
   return s;
 }
 
@@ -103,6 +113,10 @@ int main(int argc, char** argv) {
       run_kernel<ElasticModel>("elastic_interp/so4", kInterp, 4, reps));
   rows.push_back(run_kernel<ViscoelasticModel>("viscoelastic_interp/so4",
                                                kInterp, 4, reps));
+  // Health-check overhead probe: the same acoustic kernel with the
+  // generated NaN/Inf/min/max/L2 reductions firing every 8 steps.
+  rows.push_back(run_kernel<AcousticModel>("acoustic_interp/so4/health8",
+                                           kInterp, 4, reps, 8));
   if (jit) {
     rows.push_back(
         run_kernel<AcousticModel>("acoustic_jit/so4", kJit, 4, reps));
@@ -113,6 +127,15 @@ int main(int argc, char** argv) {
         run_kernel<ElasticModel>("elastic_jit/so4", kJit, 4, reps));
     rows.push_back(run_kernel<ViscoelasticModel>("viscoelastic_jit/so4",
                                                  kJit, 4, reps));
+    rows.push_back(run_kernel<AcousticModel>("acoustic_jit/so4/health8",
+                                             kJit, 4, reps, 8));
+    // The flagship propagator is the representative overhead series:
+    // the sweep touches each checked field once, so its relative cost
+    // shrinks with the kernel's arithmetic density. The 48^2 acoustic
+    // pair above is the adversarial case (an L1-resident minimal
+    // stencil where one field sweep is comparable to one step).
+    rows.push_back(
+        run_kernel<TtiModel>("tti_jit/so4/health8", kJit, 4, reps, 8));
   }
 
   for (const benchutil::MeasuredSeries& s : rows) {
@@ -122,6 +145,28 @@ int main(int argc, char** argv) {
     std::printf("  %-26s %9.3f ms  %8.4f GPts/s  (spread %.1f%%)\n",
                 s.name.c_str(), 1e3 * med, gpts,
                 benchutil::spread_pct_of(s.seconds));
+  }
+
+  // Health overhead relative to the matching plain series.
+  auto median_by = [&rows](const std::string& name) -> double {
+    for (const benchutil::MeasuredSeries& s : rows) {
+      if (s.name == name) {
+        return benchutil::median_of(s.seconds);
+      }
+    }
+    return 0.0;
+  };
+  for (const auto& [plain, checked] :
+       std::vector<std::pair<std::string, std::string>>{
+           {"acoustic_interp/so4", "acoustic_interp/so4/health8"},
+           {"acoustic_jit/so4", "acoustic_jit/so4/health8"},
+           {"tti_jit/so4", "tti_jit/so4/health8"}}) {
+    const double base = median_by(plain);
+    const double with = median_by(checked);
+    if (base > 0.0 && with > 0.0) {
+      std::printf("  health_interval=8 overhead on %s: %+.2f%%\n",
+                  plain.c_str(), 100.0 * (with - base) / base);
+    }
   }
 
   std::ofstream out(out_path, std::ios::binary);

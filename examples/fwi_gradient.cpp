@@ -22,6 +22,7 @@
 
 #include "core/operator.h"
 #include "grid/function.h"
+#include "obs/events.h"
 #include "smpi/runtime.h"
 #include "sparse/sparse_function.h"
 #include "symbolic/manip.h"
@@ -43,6 +44,10 @@ constexpr double kExtent = 800.0;  // Metres; h = 10 m.
 constexpr int kSo = 4;
 constexpr int kSteps = 600;
 constexpr double kF0 = 0.018;  // 18 Hz in cycles/ms.
+// Long propagations are exactly where in-situ health checks earn their
+// keep: a NaN born at step 50 surfaces at the next check, not as a
+// garbage gradient 550 steps later.
+constexpr std::int64_t kHealthEvery = 100;
 
 // Acoustic forward/adjoint skeleton sharing one slowness model.
 struct Propagator {
@@ -94,7 +99,10 @@ void run(const Grid& grid, int rank) {
     Injection inj(fwd.u, src, wavelet, nullptr, 1);
     Interpolation rec(fwd.u, receivers, 1);
     Operator op({fwd.update()}, {}, {&inj, &rec});
-    op.apply({.time_m = 1, .time_M = kSteps, .scalars = {{"dt", dt}}});
+    op.apply({.time_m = 1,
+              .time_M = kSteps,
+              .scalars = {{"dt", dt}},
+              .health_interval = kHealthEvery});
     observed = rec.assemble();
   }
 
@@ -111,7 +119,10 @@ void run(const Grid& grid, int rank) {
     Operator op({ir::Eq(u0.forward(),
                         sym::solve(pde, sym::Ex(0), u0.forward()))},
                 {}, {&inj, &rec});
-    op.apply({.time_m = 1, .time_M = kSteps, .scalars = {{"dt", dt}}});
+    op.apply({.time_m = 1,
+              .time_M = kSteps,
+              .scalars = {{"dt", dt}},
+              .health_interval = kHealthEvery});
     predicted = rec.assemble();
   }
 
@@ -128,20 +139,35 @@ void run(const Grid& grid, int rank) {
 
     for (std::int64_t s = 1; s <= kSteps; ++s) {
       const std::int64_t t_fwd = kSteps - s;  // Forward time being imaged.
-      op.apply({.time_m = s, .time_M = s, .scalars = {{"dt", dt}}});
+      op.apply({.time_m = s,
+                .time_M = s,
+                .scalars = {{"dt", dt}},
+                .health_interval = kHealthEvery});
       // Inject the residual of forward time t_fwd into the freshly
       // written buffer (stencil update first, then sources — the same
       // ordering the compiler gives SparseOp nodes).
+      double resid_sq = 0.0;
       for (int p = 0; p < receivers.npoints(); ++p) {
         const double resid =
             predicted[static_cast<std::size_t>(t_fwd)][static_cast<std::size_t>(p)] -
             observed[static_cast<std::size_t>(t_fwd)][static_cast<std::size_t>(p)];
+        resid_sq += resid * resid;
         for (const auto& nw : receivers.support(p)) {
           const float cur = adj.u.get_global_or(
               static_cast<int>((s + 1) % 3), nw.node, 0.0F);
           adj.u.set_global(static_cast<int>((s + 1) % 3), nw.node,
                            cur + static_cast<float>(resid * nw.weight));
         }
+      }
+      // Structured solver event: the data-residual norm driving this
+      // adjoint step (the quantity an inversion loop would watch). Every
+      // rank computes the same value from the assembled data; rank 0
+      // reports, mirroring the health monitor's convention.
+      if (rank == 0) {
+        jitfd::obs::events::emit(
+            "fwi.residual", jitfd::obs::events::EvCat::Solver, s,
+            {{"t_fwd", static_cast<double>(t_fwd)},
+             {"norm", std::sqrt(resid_sq)}});
       }
 
       // Imaging condition: grad += v(s) * d2u/dt2 (t_fwd), correlating
@@ -171,6 +197,8 @@ void run(const Grid& grid, int rank) {
     }
   }
   if (rank == 0) {
+    jitfd::obs::events::emit("fwi.misfit", jitfd::obs::events::EvCat::Solver,
+                             kSteps, {{"misfit", misfit}});
     std::printf("FWI gradient, one shot: %lldx%lld grid, %d steps, "
                 "24 receivers\n",
                 static_cast<long long>(kN), static_cast<long long>(kN),

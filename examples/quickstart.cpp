@@ -18,6 +18,11 @@
 //                                       # imbalance; needs --trace=)
 //   ... --metrics=metrics.json          # + metrics registry dump
 //                                       # (enables metrics for the run)
+//   ... --health[=N]                    # + generated NaN/Inf/min/max/L2
+//                                       # checks every N steps (default 1)
+//   ... --on-nan=abort_dump             # on NaN/Inf: write the flight-
+//                                       # recorder bundle and exit nonzero
+//                                       # (also: ignore | record)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -28,6 +33,8 @@
 #include "core/operator.h"
 #include "grid/function.h"
 #include "obs/analysis.h"
+#include "obs/flight.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "smpi/runtime.h"
 #include "symbolic/manip.h"
@@ -41,7 +48,13 @@ namespace sym = jitfd::sym;
 
 namespace {
 
-jitfd::core::RunSummary simulate(const Grid& grid, int rank, bool trace) {
+struct HealthArgs {
+  std::int64_t interval = 0;
+  obs::health::OnNan on_nan = obs::health::OnNan::Record;
+};
+
+jitfd::core::RunSummary simulate(const Grid& grid, int rank, bool trace,
+                                 const HealthArgs& health) {
   // Variable declarations (Listing 1, lines 2-8).
   const double nu = 0.5;
   const double sigma = 0.25;
@@ -66,8 +79,13 @@ jitfd::core::RunSummary simulate(const Grid& grid, int rank, bool trace) {
   // Generate the operator (the compiler runs here: clustering, flop
   // reduction, halo detection, pattern lowering) and apply one step.
   Operator op({stencil});
-  const jitfd::core::RunSummary run = op.apply(
-      {.time_m = 0, .time_M = 0, .scalars = {{"dt", dt}}, .trace = trace});
+  const jitfd::core::RunSummary run =
+      op.apply({.time_m = 0,
+                .time_M = 0,
+                .scalars = {{"dt", dt}},
+                .trace = trace,
+                .health_interval = health.interval,
+                .on_nan = health.on_nan});
 
   // Inspect the result as one logical array (gathered on rank 0).
   const std::vector<float> data = u.gather(1);
@@ -97,6 +115,7 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string analysis_path;
   std::string metrics_path;
+  HealthArgs health;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--trace=", 8) == 0) {
       trace_path = argv[i] + 8;
@@ -104,6 +123,12 @@ int main(int argc, char** argv) {
       analysis_path = argv[i] + 11;
     } else if (std::strncmp(argv[i], "--metrics=", 10) == 0) {
       metrics_path = argv[i] + 10;
+    } else if (std::strcmp(argv[i], "--health") == 0) {
+      health.interval = 1;
+    } else if (std::strncmp(argv[i], "--health=", 9) == 0) {
+      health.interval = std::atoll(argv[i] + 9);
+    } else if (std::strncmp(argv[i], "--on-nan=", 9) == 0) {
+      health.on_nan = obs::health::on_nan_from_string(argv[i] + 9);
     } else {
       nranks = std::atoi(argv[i]);
     }
@@ -112,22 +137,40 @@ int main(int argc, char** argv) {
   if (!metrics_path.empty()) {
     obs::metrics::set_enabled(true);
   }
+  // Post-mortem bundles for fatal signals / uncaught exceptions too,
+  // not just NaN detection under --on-nan=abort_dump.
+  obs::flight::install_crash_handlers();
 
   jitfd::core::RunSummary run;
-  if (nranks > 1) {
-    std::printf("running on %d thread-backed MPI ranks\n", nranks);
-    smpi::run(nranks, [&](smpi::Communicator& comm) {
-      const Grid grid({4, 4}, {2.0, 2.0}, comm);
-      const auto r = simulate(grid, comm.rank(), trace);
-      if (comm.rank() == 0) {
-        run = r;
-      }
-    });
-  } else {
-    const Grid grid({4, 4}, {2.0, 2.0});
-    run = simulate(grid, 0, trace);
+  try {
+    if (nranks > 1) {
+      std::printf("running on %d thread-backed MPI ranks\n", nranks);
+      smpi::run(nranks, [&](smpi::Communicator& comm) {
+        const Grid grid({4, 4}, {2.0, 2.0}, comm);
+        const auto r = simulate(grid, comm.rank(), trace, health);
+        if (comm.rank() == 0) {
+          run = r;
+        }
+      });
+    } else {
+      const Grid grid({4, 4}, {2.0, 2.0});
+      run = simulate(grid, 0, trace, health);
+    }
+  } catch (const obs::health::DivergenceError& e) {
+    std::fprintf(stderr, "diverged: %s\n", e.what());
+    if (!e.dump_path().empty()) {
+      std::fprintf(stderr, "flight bundle: %s\n", e.dump_path().c_str());
+    }
+    return 3;
   }
 
+  if (health.interval > 0) {
+    std::printf("\nhealth: %lld checks, %lld NaN / %lld Inf points (%s)\n",
+                static_cast<long long>(run.health.checks),
+                static_cast<long long>(run.health.nan_points),
+                static_cast<long long>(run.health.inf_points),
+                run.health.healthy() ? "healthy" : "diverged");
+  }
   std::printf("\n%lld point-updates in %.3f ms (%s backend, %llu halo "
               "messages)\n",
               static_cast<long long>(run.points_updated),

@@ -239,6 +239,135 @@ class Emitter {
     }
   }
 
+  /// In-situ numerical-health reductions (paper-style generated
+  /// diagnostics): per checked field, NaN/Inf counts, finite min/max and
+  /// the sum of squares over the owned interior — ghosts excluded, so
+  /// stale or redundantly-computed halo points never pollute the stats.
+  void emit_health_check(const ir::Node& n) {
+    line("if (jitfd_health_every > 0 && (time % jitfd_health_every) == 0 && "
+         "ops->health)");
+    line("{");
+    ++indent_;
+    const int nd = grid_->ndims();
+    for (const ir::HaloNeed& need : n.needs) {
+      const grid::Function& fn = fields_->at(need.field_id);
+      line("{");
+      ++indent_;
+      line("long jitfd_hc_nan = 0;");
+      line("long jitfd_hc_inf = 0;");
+      line("float jitfd_hc_min = INFINITY;");
+      line("float jitfd_hc_max = -INFINITY;");
+      line("double jitfd_hc_l2 = 0.0;");
+      // Shapes are baked, so the owned-interior size is known here:
+      // skip the parallel region when it is too small to amortize the
+      // fork/join (the inner simd sweep still runs).
+      std::int64_t interior_points = 1;
+      for (int d = 0; d < nd; ++d) {
+        interior_points *= grid_->local_shape()[static_cast<std::size_t>(d)];
+      }
+      const bool omp = opts_->openmp && opts_->lang == ir::Lang::OpenMP;
+      if (omp && nd > 1 && interior_points >= 32768) {
+        line("#pragma omp parallel for "
+             "reduction(+:jitfd_hc_nan,jitfd_hc_inf,jitfd_hc_l2) "
+             "reduction(min:jitfd_hc_min) reduction(max:jitfd_hc_max) "
+             "schedule(static)");
+      }
+      for (int d = 0; d + 1 < nd; ++d) {
+        const std::string v = dim_var(d);
+        line("for (long " + v + " = 0; " + v + " < " +
+             std::to_string(
+                 grid_->local_shape()[static_cast<std::size_t>(d)]) +
+             "; " + v + " += 1)");
+        line("{");
+        ++indent_;
+      }
+      // Innermost dimension: narrow row accumulators (int counts,
+      // float min/max/l2) with an explicit simd reduction — the
+      // reassociation license FP reductions need to vectorize without
+      // fast-math (which would fold the NaN tests away). Row partials
+      // fold into the wide accumulators, so l2 keeps double accuracy
+      // across rows.
+      line("int jitfd_hc_rnan = 0;");
+      line("int jitfd_hc_rinf = 0;");
+      line("float jitfd_hc_rmin = INFINITY;");
+      line("float jitfd_hc_rmax = -INFINITY;");
+      line("float jitfd_hc_rl2 = 0.0f;");
+      if (omp) {
+        line("#pragma omp simd "
+             "reduction(+:jitfd_hc_rnan,jitfd_hc_rinf,jitfd_hc_rl2) "
+             "reduction(min:jitfd_hc_rmin) reduction(max:jitfd_hc_rmax)");
+      }
+      {
+        const std::string v = dim_var(nd - 1);
+        line("for (long " + v + " = 0; " + v + " < " +
+             std::to_string(
+                 grid_->local_shape()[static_cast<std::size_t>(nd - 1)]) +
+             "; " + v + " += 1)");
+        line("{");
+        ++indent_;
+      }
+      {
+        std::ostringstream access;
+        access << fn.name();
+        if (fn.field_id().time_varying) {
+          access << '['
+                 << time_var(fn.time_buffers(), need.time_offset, fn.saved())
+                 << ']';
+        }
+        for (int d = 0; d < nd; ++d) {
+          access << '[' << dim_var(d) << " + " << fn.lpad() << ']';
+        }
+        line("const float jitfd_hc_v = " + access.str() + ";");
+      }
+      // Branchless float-native classification (v != v spots NaN,
+      // v - v != 0 spots Inf among non-NaNs) so every lane blends
+      // instead of branching.
+      line("const int jitfd_hc_isn = (jitfd_hc_v != jitfd_hc_v);");
+      line("const int jitfd_hc_isi = !jitfd_hc_isn && "
+           "(jitfd_hc_v - jitfd_hc_v != 0.0f);");
+      line("const int jitfd_hc_fin = !(jitfd_hc_isn || jitfd_hc_isi);");
+      line("jitfd_hc_rnan += jitfd_hc_isn;");
+      line("jitfd_hc_rinf += jitfd_hc_isi;");
+      line("const float jitfd_hc_lo = jitfd_hc_fin ? jitfd_hc_v : "
+           "INFINITY;");
+      line("const float jitfd_hc_hi = jitfd_hc_fin ? jitfd_hc_v : "
+           "-INFINITY;");
+      line("jitfd_hc_rmin = jitfd_hc_lo < jitfd_hc_rmin ? jitfd_hc_lo : "
+           "jitfd_hc_rmin;");
+      line("jitfd_hc_rmax = jitfd_hc_hi > jitfd_hc_rmax ? jitfd_hc_hi : "
+           "jitfd_hc_rmax;");
+      line("jitfd_hc_rl2 += jitfd_hc_fin ? jitfd_hc_v*jitfd_hc_v : 0.0f;");
+      --indent_;
+      line("}");
+      line("jitfd_hc_nan += jitfd_hc_rnan;");
+      line("jitfd_hc_inf += jitfd_hc_rinf;");
+      line("jitfd_hc_min = jitfd_hc_rmin < jitfd_hc_min ? jitfd_hc_rmin : "
+           "jitfd_hc_min;");
+      line("jitfd_hc_max = jitfd_hc_rmax > jitfd_hc_max ? jitfd_hc_rmax : "
+           "jitfd_hc_max;");
+      line("jitfd_hc_l2 += (double)jitfd_hc_rl2;");
+      for (int d = 0; d + 1 < nd; ++d) {
+        --indent_;
+        line("}");
+      }
+      // The positional index in field_order, not the global field id:
+      // ids are process-unique, and baking one in would make otherwise
+      // identical kernels hash differently in the JIT compile cache.
+      std::size_t field_pos = 0;
+      while (field_pos < info_->field_order.size() &&
+             info_->field_order[field_pos] != need.field_id) {
+        ++field_pos;
+      }
+      line("ops->health(hctx, " + std::to_string(field_pos) +
+           ", time, jitfd_hc_nan, jitfd_hc_inf, jitfd_hc_min, jitfd_hc_max, "
+           "jitfd_hc_l2);");
+      --indent_;
+      line("}");
+    }
+    --indent_;
+    line("}");
+  }
+
   void emit_node(const ir::Node& n, bool in_core) {
     switch (n.type) {
       case ir::NodeType::Expression:
@@ -249,6 +378,9 @@ class Emitter {
         return;
       case ir::NodeType::HaloComm:
         emit_halo_comm(n);
+        return;
+      case ir::NodeType::HealthCheck:
+        emit_health_check(n);
         return;
       case ir::NodeType::SparseOp:
         line("ops->sparse(hctx, " + std::to_string(n.sparse_id) + ", time);");
@@ -285,6 +417,10 @@ std::string Emitter::run(const ir::NodePtr& iet) {
           "  void (*wait)(void* ctx, int spot);\n"
           "  void (*progress)(void* ctx);\n"
           "  void (*sparse)(void* ctx, int sparse_id, long time);\n"
+          "  void (*step)(void* ctx, long time);\n"
+          "  void (*health)(void* ctx, int field, long time, long nan_count,\n"
+          "                 long inf_count, double min, double max,\n"
+          "                 double l2sq);\n"
           "} jitfd_halo_ops;\n\n";
   out_ << "int " << kKernelSymbol
        << "(float** restrict fields, const double* restrict scalars,\n"
@@ -325,10 +461,16 @@ std::string Emitter::run(const ir::NodePtr& iet) {
   }
   out_ << '\n';
 
-  // Scalar bindings.
+  // Scalar bindings. The reserved health-interval scalar stays integral:
+  // it feeds the `time % jitfd_health_every` guard, not arithmetic.
   for (std::size_t i = 0; i < info_->scalar_order.size(); ++i) {
-    line("const float " + info_->scalar_order[i] + " = (float)scalars[" +
-         std::to_string(i) + "];");
+    if (info_->scalar_order[i] == ir::kHealthIntervalScalar) {
+      line("const long " + info_->scalar_order[i] + " = (long)scalars[" +
+           std::to_string(i) + "];");
+    } else {
+      line("const float " + info_->scalar_order[i] + " = (float)scalars[" +
+           std::to_string(i) + "];");
+    }
   }
   out_ << '\n';
 
@@ -375,11 +517,19 @@ std::string Emitter::run(const ir::NodePtr& iet) {
         }
       }
     };
+    // Per-step observability hook (flight recorder step tracking); one
+    // null check when the monitor is not installed.
+    const auto emit_step_hook = [&] {
+      if (!info_->health_checks.empty()) {
+        line("if (ops->step) { ops->step(hctx, time); }");
+      }
+    };
     if (top->time_stride <= 1) {
       line("for (long time = time_m; time <= time_M; time += 1)");
       line("{");
       ++indent_;
       emit_tvars();
+      emit_step_hook();
       for (const ir::NodePtr& child : top->body) {
         emit_node(*child, /*in_core=*/false);
       }
@@ -416,6 +566,7 @@ std::string Emitter::run(const ir::NodePtr& iet) {
                      std::to_string(child->time_shift) + ";"
                : "const long time = strip_t;");
       emit_tvars();
+      emit_step_hook();
       for (const ir::NodePtr& inner : child->body) {
         emit_node(*inner, /*in_core=*/false);
       }

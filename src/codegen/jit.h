@@ -26,6 +26,13 @@ struct JitHaloOps {
   void (*wait)(void* ctx, int spot) = nullptr;
   void (*progress)(void* ctx) = nullptr;
   void (*sparse)(void* ctx, int sparse_id, long time) = nullptr;
+  /// Observability hooks (null when health monitoring is off): `step` is
+  /// called at the top of every time step; `health` receives the
+  /// rank-local reductions of one field's owned interior.
+  void (*step)(void* ctx, long time) = nullptr;
+  void (*health)(void* ctx, int field, long time, long nan_count,
+                 long inf_count, double min, double max, double l2sq) =
+      nullptr;
 };
 
 /// A compiled-and-loaded kernel. Movable, not copyable; unloads the

@@ -1,13 +1,16 @@
 #include "core/operator.h"
 
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <functional>
+#include <limits>
 #include <set>
 #include <sstream>
 #include <stdexcept>
 
 #include "codegen/emit.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "symbolic/manip.h"
@@ -30,6 +33,11 @@ namespace {
 struct JitCtx {
   runtime::HaloExchange* halo;
   std::vector<runtime::SparseOp*>* sparse;
+  obs::health::Sink* health = nullptr;
+  // Generated code refers to fields by their position in field_order so
+  // identical operators emit identical (cache-shareable) source; the
+  // trampoline maps that position back to the process-global field id.
+  const std::vector<int>* field_order = nullptr;
 };
 
 void tramp_update(void* c, int spot, long time) {
@@ -52,6 +60,68 @@ void tramp_sparse(void* c, int sparse_id, long time) {
   static_cast<JitCtx*>(c)->sparse->at(static_cast<std::size_t>(sparse_id))
       ->apply(time);
 }
+void tramp_step(void* c, long time) {
+  static_cast<JitCtx*>(c)->health->on_step(time);
+}
+void tramp_health(void* c, int field_pos, long time, long nan_count,
+                  long inf_count, double min, double max, double l2sq) {
+  auto* ctx = static_cast<JitCtx*>(c);
+  obs::health::LocalStats stats;
+  stats.nan_count = nan_count;
+  stats.inf_count = inf_count;
+  stats.min = min;
+  stats.max = max;
+  stats.l2sq = l2sq;
+  const int field_id =
+      ctx->field_order->at(static_cast<std::size_t>(field_pos));
+  ctx->health->on_check(field_id, time, stats);
+}
+
+/// Fault-injection hook for the flight-recorder self-test:
+/// JITFD_INJECT_NAN="rank:step" poisons one owned-interior point of the
+/// first checked field on that rank at the top of that step, so the
+/// step's compute propagates it into the written buffer and the next
+/// health check detects it. Wraps the real monitor as the installed
+/// Sink; injection happens at most once per apply.
+class InjectNanSink : public obs::health::Sink {
+ public:
+  InjectNanSink(obs::health::Sink* inner, grid::Function* target, int rank,
+                int inject_rank, std::int64_t inject_step)
+      : inner_(inner),
+        target_(target),
+        rank_(rank),
+        inject_rank_(inject_rank),
+        inject_step_(inject_step) {}
+
+  void on_step(std::int64_t time) override {
+    inner_->on_step(time);
+    if (!done_ && rank_ == inject_rank_ && time == inject_step_) {
+      done_ = true;
+      std::vector<std::int64_t> center;
+      for (const std::int64_t s : target_->local_shape()) {
+        center.push_back(s / 2);
+      }
+      // Poison the buffer read at this step (relative offset 0): the
+      // stencil update spreads it into the written buffer before the
+      // end-of-step check runs.
+      target_->at_local(target_->buffer_index(0, time), center) =
+          std::numeric_limits<float>::quiet_NaN();
+    }
+  }
+
+  void on_check(int field_id, std::int64_t time,
+                const obs::health::LocalStats& local) override {
+    inner_->on_check(field_id, time, local);
+  }
+
+ private:
+  obs::health::Sink* inner_;
+  grid::Function* target_;
+  int rank_;
+  int inject_rank_;
+  std::int64_t inject_step_;
+  bool done_ = false;
+};
 
 }  // namespace
 
@@ -230,6 +300,10 @@ RunSummary Operator::apply(const ApplyArgs& args) {
   for (int d = 0; d < grid_->ndims(); ++d) {
     scalars.emplace("h_" + grid::Grid::dim_name(d), grid_->spacing(d));
   }
+  // The reserved health-interval scalar is bound by the runtime, never
+  // by the user.
+  scalars[ir::kHealthIntervalScalar] =
+      static_cast<double>(args.health_interval);
   for (const std::string& name : info_.scalar_order) {
     if (scalars.find(name) == scalars.end()) {
       throw std::invalid_argument("Operator::apply: unbound symbol '" + name +
@@ -242,6 +316,57 @@ RunSummary Operator::apply(const ApplyArgs& args) {
   out.steps = args.time_M - args.time_m + 1;
   out.trace = obs::TraceHandle(args.trace && obs::enabled());
 
+  // Numerical-health monitor (only when the lowered IET carries health
+  // kernels; JITFD_OBS=OFF builds never do).
+  std::unique_ptr<obs::health::Monitor> monitor;
+  std::unique_ptr<obs::health::Sink> inject;
+  obs::health::Sink* sink = nullptr;
+  const int rank = grid_->distributed() ? grid_->cart()->comm().rank() : 0;
+  if (args.health_interval > 0 && !info_.health_checks.empty()) {
+    obs::health::Monitor::Options mopts;
+    mopts.on_nan = args.on_nan;
+    mopts.comm = grid_->distributed() ? &grid_->cart()->comm() : nullptr;
+    mopts.rank = rank;
+    mopts.field_name = [this](int id) { return fields_.at(id).name(); };
+    monitor = std::make_unique<obs::health::Monitor>(mopts);
+    sink = monitor.get();
+    if (const char* inj = std::getenv("JITFD_INJECT_NAN")) {
+      int inj_rank = -1;
+      long inj_step = -1;
+      if (std::sscanf(inj, "%d:%ld", &inj_rank, &inj_step) == 2) {
+        inject = std::make_unique<InjectNanSink>(
+            monitor.get(), &fields_.at(info_.health_checks.front().field_id),
+            rank, inj_rank, inj_step);
+        sink = inject.get();
+      }
+    }
+    // Run configuration for a potential post-mortem bundle.
+    {
+      std::ostringstream shape;
+      shape << '[';
+      for (int d = 0; d < grid_->ndims(); ++d) {
+        shape << (d ? ", " : "") << grid_->shape()[static_cast<std::size_t>(d)];
+      }
+      shape << ']';
+      obs::flight::set_config("grid_shape", shape.str());
+      obs::flight::set_config("mode",
+                              "\"" + std::string(ir::to_string(opts_.mode)) +
+                                  "\"");
+      obs::flight::set_config(
+          "exchange_depth", std::to_string(info_.exchange_depth));
+      obs::flight::set_config(
+          "backend", "\"" + std::string(to_string(out.backend)) + "\"");
+      obs::flight::set_config("health_interval",
+                              std::to_string(args.health_interval));
+      obs::flight::set_config(
+          "on_nan",
+          "\"" + std::string(obs::health::to_string(args.on_nan)) + "\"");
+      obs::flight::set_config(
+          "ranks",
+          std::to_string(grid_->distributed() ? grid_->cart()->size() : 1));
+    }
+  }
+
   const runtime::HaloStats before = cumulative_halo_stats();
   const double jit_cc_before = jit_compile_seconds_;
   const bool had_kernel = jit_ != nullptr;
@@ -251,9 +376,12 @@ RunSummary Operator::apply(const ApplyArgs& args) {
   const auto start = std::chrono::steady_clock::now();
   if (out.backend == Backend::Interpret) {
     runtime::Interpreter interp(iet_, fields_, halo_.get(), sparse_ops_);
+    if (sink != nullptr) {
+      interp.set_health(sink, args.health_interval);
+    }
     interp.run(args.time_m, args.time_M, scalars);
   } else {
-    run_jit(args.time_m, args.time_M, scalars);
+    run_jit(args.time_m, args.time_M, scalars, sink);
   }
   out.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
@@ -273,11 +401,15 @@ RunSummary Operator::apply(const ApplyArgs& args) {
   static obs::metrics::Counter& steps = obs::metrics::counter("op.steps");
   applies.add(1);
   steps.add(static_cast<std::uint64_t>(out.steps));
+  if (monitor != nullptr) {
+    out.health = monitor->summary();
+  }
   return out;
 }
 
 void Operator::run_jit(std::int64_t time_m, std::int64_t time_M,
-                       const std::map<std::string, double>& scalars) {
+                       const std::map<std::string, double>& scalars,
+                       obs::health::Sink* health_sink) {
   if (jit_ == nullptr) {
     jit_ = std::make_unique<codegen::JitKernel>(
         ccode(), opts_.lang == ir::Lang::OpenMP && opts_.openmp);
@@ -294,13 +426,17 @@ void Operator::run_jit(std::int64_t time_m, std::int64_t time_M,
   for (const std::string& name : info_.scalar_order) {
     scalar_vals.push_back(scalars.at(name));
   }
-  JitCtx ctx{halo_.get(), &sparse_ops_};
+  JitCtx ctx{halo_.get(), &sparse_ops_, health_sink, &info_.field_order};
   codegen::JitHaloOps ops;
   ops.update = &tramp_update;
   ops.start = &tramp_start;
   ops.wait = &tramp_wait;
   ops.progress = &tramp_progress;
   ops.sparse = &tramp_sparse;
+  if (health_sink != nullptr) {
+    ops.step = &tramp_step;
+    ops.health = &tramp_health;
+  }
   // The generated loops carry no spans; obs derives compute time from
   // this umbrella minus the halo/sparse callbacks nested inside it.
   const obs::Span span("jit.run", obs::Cat::Run, time_m,

@@ -26,6 +26,7 @@
 #include "codegen/jit.h"
 #include "ir/eq.h"
 #include "ir/lower.h"
+#include "obs/health.h"
 #include "obs/report.h"
 #include "runtime/halo.h"
 #include "runtime/interpreter.h"
@@ -55,6 +56,15 @@ struct ApplyArgs {
   /// the perfmodel comparison consumes. No-op when the build was
   /// configured with JITFD_OBS=OFF.
   bool trace = false;
+  /// Run the compiler-generated numerical-health kernels every N steps
+  /// (0 = never; the generated checks cost one comparison per step).
+  /// Results land in RunSummary::health, obs/metrics, the event log and
+  /// the flight recorder's health ring.
+  std::int64_t health_interval = 0;
+  /// Policy when a health check finds NaN/Inf points (ignored unless
+  /// health_interval > 0). AbortDump writes the flight-recorder bundle
+  /// and throws obs::health::DivergenceError on every rank.
+  obs::health::OnNan on_nan = obs::health::OnNan::Record;
 };
 
 /// What one apply() did, measured on the calling rank. Values are
@@ -78,6 +88,9 @@ struct RunSummary {
   /// Active when ApplyArgs::trace was set; snapshot it after every rank
   /// has finished (e.g. after smpi::run returns).
   obs::TraceHandle trace;
+  /// Numerical-health outcome (all zeros / healthy() when
+  /// ApplyArgs::health_interval was 0 or the layer is compiled out).
+  obs::health::Summary health;
 };
 
 class Operator {
@@ -115,7 +128,8 @@ class Operator {
  private:
   runtime::HaloStats cumulative_halo_stats() const;
   void run_jit(std::int64_t time_m, std::int64_t time_M,
-               const std::map<std::string, double>& scalars);
+               const std::map<std::string, double>& scalars,
+               obs::health::Sink* health_sink);
 
   std::vector<ir::Eq> eqs_;
   ir::CompileOptions opts_;

@@ -83,6 +83,13 @@ NodePtr make_sparse_op(int sparse_id) {
   return finish(std::move(n));
 }
 
+NodePtr make_health_check(std::vector<HaloNeed> needs) {
+  Node n;
+  n.type = NodeType::HealthCheck;
+  n.needs = std::move(needs);
+  return finish(std::move(n));
+}
+
 NodePtr make_section(std::string name, std::vector<NodePtr> body) {
   Node n;
   n.type = NodeType::Section;
@@ -190,6 +197,22 @@ void dump(std::ostringstream& os, const NodePtr& node, int indent) {
       }
       os << ">\n";
       break;
+    case NodeType::HealthCheck: {
+      os << pad << "<HealthCheck(";
+      for (std::size_t i = 0; i < n.needs.size(); ++i) {
+        if (i > 0) {
+          os << ", ";
+        }
+        os << "f" << n.needs[i].field_id << "@t";
+        if (n.needs[i].time_offset > 0) {
+          os << '+' << n.needs[i].time_offset;
+        } else if (n.needs[i].time_offset < 0) {
+          os << n.needs[i].time_offset;
+        }
+      }
+      os << ")>\n";
+      return;
+    }
   }
   for (const NodePtr& child : n.body) {
     dump(os, child, indent + 1);

@@ -62,6 +62,7 @@ enum class NodeType {
   HaloComm,    ///< Lowered communication call (update/start/wait).
   SparseOp,    ///< Off-grid source injection / receiver interpolation.
   Section,     ///< Named grouping (e.g. "core", "remainder-x-low").
+  HealthCheck,  ///< In-situ numerical-health reductions (per written field).
 };
 
 struct Node;
@@ -144,6 +145,10 @@ NodePtr make_halo_comm(HaloCommKind kind, std::vector<HaloNeed> needs,
                        int spot_id);
 NodePtr make_sparse_op(int sparse_id);
 NodePtr make_section(std::string name, std::vector<NodePtr> body);
+/// Health reductions over the owned interior of each (field, time
+/// offset) in `needs` (widths unused — health never reads ghosts).
+/// Guarded at runtime by the reserved `jitfd_health_every` scalar.
+NodePtr make_health_check(std::vector<HaloNeed> needs);
 
 /// Shallow-copy `n` with a replaced body (the rewrite primitive).
 NodePtr with_body(const Node& n, std::vector<NodePtr> body);

@@ -614,6 +614,13 @@ void collect_arg_orders(const std::vector<Eq>& eqs, LoweringInfo& info) {
                                         sub.node().name +
                                         "' is reserved for compiler temps");
           }
+          // jitfd_* is the runtime's namespace (jitfd_health_every, the
+          // generated kernel's own identifiers).
+          if (sub.node().name.rfind("jitfd_", 0) == 0) {
+            throw std::invalid_argument("lowering: symbol name '" +
+                                        sub.node().name +
+                                        "' is reserved (jitfd_ prefix)");
+          }
           scalars.insert(sub.node().name);
         }
       });
@@ -694,6 +701,25 @@ NodePtr lower_to_iet(const std::vector<Eq>& eqs, const grid::Grid& grid,
     prologue.push_back(make_halo_spot(hoisted));
   }
 
+  // Numerical-health reductions: one (field, time offset) per distinct
+  // write target, checked over the owned interior at the end of every
+  // (sub-)step. The emitted kernels are guarded by the reserved
+  // jitfd_health_every scalar, so a zero interval costs one comparison.
+  std::vector<HaloNeed> health;
+  if (opts.health) {
+    std::set<std::pair<int, int>> seen_writes;
+    for (const Cluster& c : clusters) {
+      for (const Eq& eq : c.eqs) {
+        if (seen_writes.emplace(eq.write_field().id, eq.write_time_offset())
+                .second) {
+          health.push_back(
+              HaloNeed{eq.write_field().id, eq.write_time_offset(),
+                       std::vector<int>(static_cast<std::size_t>(nd), 0)});
+        }
+      }
+    }
+  }
+
   std::vector<NodePtr> step;
   if (ca.k > 1) {
     // One exchange at the strip top, then k sub-steps whose loop bounds
@@ -715,6 +741,12 @@ NodePtr lower_to_iet(const std::vector<Eq>& eqs, const grid::Grid& grid,
         sub.push_back(build_nest(clusters[ci], nd, opts, lo, hi,
                                  /*allow_block=*/true));
       }
+      if (!health.empty()) {
+        // Inside the substep: the substep's partial-strip guard also
+        // guards the check, keeping the `time % interval` predicate (and
+        // thus the cross-rank reduction schedule) identical on all ranks.
+        sub.push_back(make_health_check(health));
+      }
       step.push_back(make_substep(j, std::move(sub)));
     }
   } else {
@@ -729,6 +761,13 @@ NodePtr lower_to_iet(const std::vector<Eq>& eqs, const grid::Grid& grid,
       step.push_back(make_sparse_op(s.id));
       ++info.sparse_op_count;
     }
+    if (!health.empty()) {
+      step.push_back(make_health_check(health));
+    }
+  }
+  if (!health.empty()) {
+    info.health_checks = health;
+    info.scalar_order.push_back(kHealthIntervalScalar);
   }
 
   std::vector<NodePtr> top = prologue;

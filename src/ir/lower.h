@@ -62,7 +62,23 @@ struct CompileOptions {
   /// are too shallow, when sparse operations or saved fields are present,
   /// or on serial grids.
   int exchange_depth = 1;
+  /// Emit per-written-field numerical-health reduction kernels
+  /// (NaN/Inf counts, finite min/max, L2 over the owned interior) at
+  /// the end of every time step, guarded by the reserved
+  /// `jitfd_health_every` scalar — a zero interval skips the kernels
+  /// entirely at runtime. Defaults to off when the observability layer
+  /// is compiled out (JITFD_OBS=OFF): nothing could consume the stats.
+#ifndef JITFD_OBS_DISABLED
+  bool health = true;
+#else
+  bool health = false;
+#endif
 };
+
+/// Reserved scalar (rejected as a user symbol name, like the rN
+/// reduction temps): the health-check interval, bound automatically by
+/// Operator::apply from ApplyArgs::health_interval.
+inline constexpr const char* kHealthIntervalScalar = "jitfd_health_every";
 
 /// A halo spot registration the runtime must be told about.
 struct SpotInfo {
@@ -84,6 +100,9 @@ struct LoweringInfo {
   /// not be honoured; exchange_depth_clamp_reason says why).
   int exchange_depth = 1;
   std::string exchange_depth_clamp_reason;
+  /// The (field, time offset) pairs each step's HealthCheck reduces
+  /// (empty when CompileOptions::health was off or nothing is written).
+  std::vector<HaloNeed> health_checks;
 };
 
 /// One off-grid operation appended to every timestep (see sparse/).

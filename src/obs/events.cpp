@@ -1,0 +1,240 @@
+#include "obs/events.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "obs/trace.h"
+
+namespace jitfd::obs::events {
+
+namespace detail {
+
+std::atomic<std::uint32_t> g_enabled{0};
+
+}  // namespace detail
+
+namespace {
+
+constexpr std::uint32_t kForceBit = 1U << 31;
+
+std::atomic<std::size_t> g_capacity{4096};
+
+std::size_t round_pow2(std::size_t n) {
+  std::size_t p = 8;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+struct Slot {
+  const char* name = nullptr;
+  EvCat cat = EvCat::Run;
+  std::int64_t step = 0;
+  std::uint64_t t_ns = 0;
+  int nkv = 0;
+  const char* keys[kMaxKv] = {};
+  double vals[kMaxKv] = {};
+};
+
+/// Single-writer ring of one thread; same collection contract as the
+/// trace ring (readers run only while the writer is quiescent).
+struct ThreadRing {
+  explicit ThreadRing(std::size_t capacity, int rank_)
+      : slots(capacity), mask(capacity - 1), rank(rank_) {}
+
+  std::vector<Slot> slots;
+  std::size_t mask;
+  std::atomic<std::uint64_t> head{0};
+  int rank;
+};
+
+struct Registry {
+  std::mutex mtx;
+  std::vector<std::unique_ptr<ThreadRing>> rings;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // Leaked: rank threads may outlive
+  return *r;                          // static destruction order.
+}
+
+thread_local ThreadRing* t_ring = nullptr;
+thread_local int t_rank = 0;
+
+ThreadRing* attach_thread() {
+  auto ring = std::make_unique<ThreadRing>(
+      round_pow2(g_capacity.load(std::memory_order_relaxed)), t_rank);
+  t_ring = ring.get();
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mtx);
+  reg.rings.push_back(std::move(ring));
+  return t_ring;
+}
+
+/// Reads JITFD_EVENTS / JITFD_EVENTS_RING before main.
+const bool g_env_init = [] {
+  if (const char* ring = std::getenv("JITFD_EVENTS_RING")) {
+    const long n = std::atol(ring);
+    if (n > 0) {
+      set_ring_capacity(static_cast<std::size_t>(n));
+    }
+  }
+  if (const char* on = std::getenv("JITFD_EVENTS")) {
+    if (on[0] != '\0' && on[0] != '0') {
+      set_enabled(true);
+    }
+  }
+  return true;
+}();
+
+void append_json_number(std::ostringstream& os, double v) {
+  if (std::isfinite(v)) {
+    std::ostringstream tmp;
+    tmp.precision(17);
+    tmp << v;
+    os << tmp.str();
+  } else {
+    os << "null";
+  }
+}
+
+}  // namespace
+
+const char* to_string(EvCat cat) {
+  switch (cat) {
+    case EvCat::Health:
+      return "health";
+    case EvCat::Halo:
+      return "halo";
+    case EvCat::Run:
+      return "run";
+    case EvCat::Solver:
+      return "solver";
+  }
+  return "?";
+}
+
+void set_enabled(bool on) {
+  if (on) {
+    detail::g_enabled.fetch_or(kForceBit, std::memory_order_relaxed);
+  } else {
+    detail::g_enabled.fetch_and(~kForceBit, std::memory_order_relaxed);
+  }
+}
+
+EnableScope::EnableScope(bool on) : on_(on) {
+  if (on_) {
+    detail::g_enabled.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+EnableScope::~EnableScope() {
+  if (on_) {
+    detail::g_enabled.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void set_thread_rank(int rank) {
+  t_rank = rank;
+  if (t_ring != nullptr) {
+    t_ring->rank = rank;
+  }
+}
+
+void set_ring_capacity(std::size_t events) {
+  g_capacity.store(round_pow2(events), std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void record(const char* name, EvCat cat, std::int64_t step, const KV* kvs,
+            int nkv) {
+  ThreadRing* r = t_ring != nullptr ? t_ring : attach_thread();
+  const std::uint64_t h = r->head.load(std::memory_order_relaxed);
+  Slot& s = r->slots[static_cast<std::size_t>(h) & r->mask];
+  s.name = name;
+  s.cat = cat;
+  s.step = step;
+  s.t_ns = now_ns();
+  s.nkv = nkv < kMaxKv ? nkv : kMaxKv;
+  for (int i = 0; i < s.nkv; ++i) {
+    s.keys[i] = kvs[i].key;
+    s.vals[i] = kvs[i].value;
+  }
+  r->head.store(h + 1, std::memory_order_release);
+}
+
+}  // namespace detail
+
+EventData collect() {
+  EventData out;
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mtx);
+  for (const auto& ring : reg.rings) {
+    const std::uint64_t h = ring->head.load(std::memory_order_acquire);
+    const std::uint64_t cap = ring->mask + 1;
+    const std::uint64_t n = h < cap ? h : cap;
+    out.dropped += h - n;
+    for (std::uint64_t i = h - n; i < h; ++i) {
+      const Slot& s = ring->slots[static_cast<std::size_t>(i) & ring->mask];
+      EventData::Rec rec;
+      rec.name = s.name != nullptr ? s.name : "?";
+      rec.cat = s.cat;
+      rec.rank = ring->rank;
+      rec.step = s.step;
+      rec.t_ns = s.t_ns;
+      for (int k = 0; k < s.nkv; ++k) {
+        rec.kv.emplace_back(s.keys[k] != nullptr ? s.keys[k] : "?",
+                            s.vals[k]);
+      }
+      out.events.push_back(std::move(rec));
+    }
+  }
+  std::stable_sort(out.events.begin(), out.events.end(),
+                   [](const EventData::Rec& a, const EventData::Rec& b) {
+                     return a.rank != b.rank ? a.rank < b.rank
+                                             : a.t_ns < b.t_ns;
+                   });
+  return out;
+}
+
+void reset() {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mtx);
+  for (const auto& ring : reg.rings) {
+    ring->head.store(0, std::memory_order_release);
+  }
+}
+
+std::string to_json(const EventData& data) {
+  std::ostringstream os;
+  os << "{\n  \"events\": [";
+  bool first = true;
+  for (const EventData::Rec& r : data.events) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "    {\"name\": \"" << r.name << "\", \"cat\": \""
+       << to_string(r.cat) << "\", \"rank\": " << r.rank
+       << ", \"step\": " << r.step << ", \"t_ns\": " << r.t_ns
+       << ", \"kv\": {";
+    bool kf = true;
+    for (const auto& [k, v] : r.kv) {
+      if (!kf) {
+        os << ", ";
+      }
+      kf = false;
+      os << '"' << k << "\": ";
+      append_json_number(os, v);
+    }
+    os << "}}";
+  }
+  os << "\n  ],\n  \"dropped\": " << data.dropped << "\n}\n";
+  return os.str();
+}
+
+}  // namespace jitfd::obs::events

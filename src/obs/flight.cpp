@@ -1,0 +1,285 @@
+#include "obs/flight.h"
+
+#include <atomic>
+#include <cmath>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "obs/events.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace jitfd::obs::flight {
+
+namespace {
+
+/// Trace/event tail lengths per bundle: enough for a story, small
+/// enough that a dump stays a few hundred KB.
+constexpr std::size_t kTraceTailPerRank = 128;
+constexpr std::size_t kEventTail = 256;
+
+/// Per-rank current-step slots (ranks are threads of one process; the
+/// SMPI substrate caps world sizes far below this).
+constexpr int kMaxRanks = 256;
+
+struct State {
+  std::mutex mtx;
+  std::map<std::string, std::string> config;
+  std::deque<HealthRec> health;
+  std::string dump_path;
+};
+
+State& state() {
+  static State* s = new State;  // Leaked: see trace.cpp registry note.
+  return *s;
+}
+
+std::atomic<std::int64_t> g_steps[kMaxRanks];
+std::atomic<int> g_max_rank{-1};
+std::atomic<bool> g_dumped{false};
+
+std::string json_escape(const std::string& s) {
+  std::ostringstream os;
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  return os.str();
+}
+
+std::string build_bundle(const std::string& reason, int rank,
+                         std::int64_t step, const std::string& detail) {
+  std::ostringstream os;
+  os << "{\n\"flight\": {\n";
+  os << "  \"schema_version\": 1,\n";
+  os << "  \"reason\": \"" << json_escape(reason) << "\",\n";
+  os << "  \"rank\": " << rank << ",\n";
+  os << "  \"step\": " << step << ",\n";
+  os << "  \"detail\": \"" << json_escape(detail) << "\",\n";
+
+  State& s = state();
+  {
+    const std::lock_guard<std::mutex> lock(s.mtx);
+    os << "  \"config\": {";
+    bool first = true;
+    for (const auto& [k, v] : s.config) {
+      os << (first ? "\n" : ",\n") << "    \"" << json_escape(k)
+         << "\": " << v;
+      first = false;
+    }
+    os << (first ? "" : "\n  ") << "},\n";
+
+    os << "  \"health\": [";
+    first = true;
+    auto finite_or_null = [&os](double v) {
+      if (std::isfinite(v)) {
+        os << v;
+      } else {
+        os << "null";
+      }
+    };
+    for (const HealthRec& h : s.health) {
+      os << (first ? "\n" : ",\n") << "    {\"step\": " << h.step
+         << ", \"field\": \"" << json_escape(h.field)
+         << "\", \"field_id\": " << h.field_id << ", \"nan\": "
+         << h.nan_count << ", \"inf\": " << h.inf_count << ", \"min\": ";
+      finite_or_null(h.min);
+      os << ", \"max\": ";
+      finite_or_null(h.max);
+      os << ", \"l2\": ";
+      finite_or_null(h.l2);
+      os << ", \"bad_rank\": " << h.bad_rank << "}";
+      first = false;
+    }
+    os << (first ? "" : "\n  ") << "],\n";
+  }
+
+  os << "  \"steps\": [";
+  {
+    bool first = true;
+    const int max_rank = g_max_rank.load(std::memory_order_relaxed);
+    for (int r = 0; r <= max_rank && r < kMaxRanks; ++r) {
+      os << (first ? "\n" : ",\n") << "    {\"rank\": " << r
+         << ", \"step\": " << g_steps[r].load(std::memory_order_relaxed)
+         << "}";
+      first = false;
+    }
+    os << (first ? "" : "\n  ") << "],\n";
+  }
+
+  // Recent structured events (bounded tail of the per-thread rings).
+  {
+    events::EventData ev = events::collect();
+    if (ev.events.size() > kEventTail) {
+      ev.events.erase(ev.events.begin(),
+                      ev.events.end() -
+                          static_cast<std::ptrdiff_t>(kEventTail));
+    }
+    os << "  \"events\": " << events::to_json(ev) << ",\n";
+  }
+
+  // Trace-ring tail, newest kTraceTailPerRank spans per rank.
+  {
+    const TraceData trace = obs::collect();
+    std::map<int, std::vector<const TraceData::Rec*>> by_rank;
+    for (const TraceData::Rec& rec : trace.events) {
+      by_rank[rec.rank].push_back(&rec);
+    }
+    os << "  \"trace\": [";
+    bool first = true;
+    for (const auto& [r, recs] : by_rank) {
+      const std::size_t begin =
+          recs.size() > kTraceTailPerRank ? recs.size() - kTraceTailPerRank
+                                          : 0;
+      for (std::size_t i = begin; i < recs.size(); ++i) {
+        const TraceData::Rec& rec = *recs[i];
+        os << (first ? "\n" : ",\n") << "    {\"name\": \""
+           << json_escape(rec.name) << "\", \"cat\": \""
+           << obs::to_string(rec.cat) << "\", \"rank\": " << rec.rank
+           << ", \"t0_ns\": " << rec.t0_ns << ", \"t1_ns\": " << rec.t1_ns
+           << ", \"a0\": " << rec.a0 << ", \"a1\": " << rec.a1 << "}";
+        first = false;
+      }
+    }
+    os << (first ? "" : "\n  ") << "],\n";
+  }
+
+  os << "  \"metrics\": " << metrics::to_json();
+  os << "}\n}\n";
+  return os.str();
+}
+
+void signal_handler(int sig) {
+  // Not async-signal-safe, but the process is dying anyway; a partial
+  // bundle beats none. Restore the default disposition first so a
+  // second fault during the dump terminates instead of recursing.
+  std::signal(sig, SIG_DFL);
+  dump("signal:" + std::to_string(sig), -1, -1, "fatal signal");
+  std::raise(sig);
+}
+
+std::terminate_handler g_prev_terminate = nullptr;
+
+[[noreturn]] void terminate_handler() {
+  std::string what = "(unknown)";
+  if (const std::exception_ptr p = std::current_exception()) {
+    try {
+      std::rethrow_exception(p);
+    } catch (const std::exception& e) {
+      what = e.what();
+    } catch (...) {
+    }
+  }
+  dump("uncaught_exception", -1, -1, what);
+  if (g_prev_terminate != nullptr) {
+    g_prev_terminate();
+  }
+  std::abort();
+}
+
+}  // namespace
+
+void set_config(const std::string& key, const std::string& json_value) {
+  State& s = state();
+  const std::lock_guard<std::mutex> lock(s.mtx);
+  s.config[key] = json_value;
+}
+
+void record_health(const HealthRec& rec) {
+  State& s = state();
+  const std::lock_guard<std::mutex> lock(s.mtx);
+  s.health.push_back(rec);
+  while (s.health.size() > kHealthRing) {
+    s.health.pop_front();
+  }
+}
+
+void note_step(int rank, std::int64_t step) {
+  if (rank < 0 || rank >= kMaxRanks) {
+    return;
+  }
+  g_steps[rank].store(step, std::memory_order_relaxed);
+  int prev = g_max_rank.load(std::memory_order_relaxed);
+  while (rank > prev && !g_max_rank.compare_exchange_weak(
+                            prev, rank, std::memory_order_relaxed)) {
+  }
+}
+
+std::string dump(const std::string& reason, int rank, std::int64_t step,
+                 const std::string& detail) {
+  State& s = state();
+  const char* dir = std::getenv("JITFD_FLIGHT_DIR");
+  std::string path = (dir != nullptr && dir[0] != '\0')
+                         ? std::string(dir) + "/jitfd_flight.json"
+                         : std::string("jitfd_flight.json");
+  bool expected = false;
+  if (!g_dumped.compare_exchange_strong(expected, true,
+                                        std::memory_order_acq_rel)) {
+    // A bundle exists or is being written; the path is deterministic,
+    // so report it even if the winner has not finished recording it.
+    const std::lock_guard<std::mutex> lock(s.mtx);
+    return s.dump_path.empty() ? path : s.dump_path;
+  }
+  const std::string bundle = build_bundle(reason, rank, step, detail);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << bundle;
+  }
+  const std::lock_guard<std::mutex> lock(s.mtx);
+  s.dump_path = path;
+  return path;
+}
+
+bool dumped() { return g_dumped.load(std::memory_order_acquire); }
+
+void reset_for_testing() {
+  State& s = state();
+  const std::lock_guard<std::mutex> lock(s.mtx);
+  g_dumped.store(false, std::memory_order_release);
+  s.dump_path.clear();
+  s.health.clear();
+  g_max_rank.store(-1, std::memory_order_relaxed);
+}
+
+void install_crash_handlers() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    g_prev_terminate = std::set_terminate(&terminate_handler);
+    for (const int sig : {SIGSEGV, SIGABRT, SIGFPE, SIGILL, SIGBUS}) {
+      std::signal(sig, &signal_handler);
+    }
+  });
+}
+
+}  // namespace jitfd::obs::flight

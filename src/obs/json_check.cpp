@@ -572,4 +572,252 @@ SchemaCheck validate_analysis_json(std::string_view json) {
   return out;
 }
 
+namespace {
+
+bool check_events_value(const JsonValue& root, SchemaCheck& out) {
+  if (root.type != JsonValue::Type::Obj) {
+    out.error = "events document is not an object";
+    return false;
+  }
+  const JsonValue* events = want_arr(root, "events", out.error, "document");
+  if (events == nullptr) {
+    return false;
+  }
+  if (!want_num(root, "dropped", out.error, "document")) {
+    return false;
+  }
+  for (const JsonValue& e : events->arr) {
+    if (e.type != JsonValue::Type::Obj) {
+      out.error = "events entry is not an object";
+      return false;
+    }
+    for (const char* key : {"name", "cat"}) {
+      const JsonValue* v = e.find(key);
+      if (v == nullptr || v->type != JsonValue::Type::Str || v->str.empty()) {
+        out.error = std::string("event missing string \"") + key + "\"";
+        return false;
+      }
+    }
+    const std::string where = "event \"" + e.find("name")->str + "\"";
+    for (const char* key : {"rank", "step", "t_ns"}) {
+      if (!want_num(e, key, out.error, where)) {
+        return false;
+      }
+    }
+    const JsonValue* kv = want_obj(e, "kv", out.error, where);
+    if (kv == nullptr) {
+      return false;
+    }
+    for (const auto& [k, v] : kv->obj) {
+      if (v.type != JsonValue::Type::Num) {
+        out.error = where + " kv \"" + k + "\" is not numeric";
+        return false;
+      }
+    }
+    ++out.items;
+  }
+  return true;
+}
+
+}  // namespace
+
+SchemaCheck validate_events_json(std::string_view json) {
+  SchemaCheck out;
+  JsonValue root;
+  if (!json_parse(json, root, &out.error)) {
+    return out;
+  }
+  out.ok = check_events_value(root, out);
+  return out;
+}
+
+FlightCheck validate_flight_json(std::string_view json) {
+  FlightCheck out;
+  JsonValue root;
+  if (!json_parse(json, root, &out.error)) {
+    return out;
+  }
+  if (root.type != JsonValue::Type::Obj) {
+    out.error = "top level is not an object";
+    return out;
+  }
+  const JsonValue* f = want_obj(root, "flight", out.error, "document");
+  if (f == nullptr) {
+    return out;
+  }
+  const JsonValue* ver = f->find("schema_version");
+  if (ver == nullptr || ver->type != JsonValue::Type::Num ||
+      ver->num != 1.0) {
+    out.error = "\"flight\" missing schema_version 1";
+    return out;
+  }
+  for (const char* key : {"reason", "detail"}) {
+    const JsonValue* v = f->find(key);
+    if (v == nullptr || v->type != JsonValue::Type::Str) {
+      out.error = std::string("\"flight\" missing string \"") + key + "\"";
+      return out;
+    }
+  }
+  if (!want_num(*f, "rank", out.error, "\"flight\"") ||
+      !want_num(*f, "step", out.error, "\"flight\"")) {
+    return out;
+  }
+  if (want_obj(*f, "config", out.error, "\"flight\"") == nullptr) {
+    return out;
+  }
+  const JsonValue* health = want_arr(*f, "health", out.error, "\"flight\"");
+  if (health == nullptr) {
+    return out;
+  }
+  for (const JsonValue& h : health->arr) {
+    if (h.type != JsonValue::Type::Obj) {
+      out.error = "health sample is not an object";
+      return out;
+    }
+    const JsonValue* field = h.find("field");
+    if (field == nullptr || field->type != JsonValue::Type::Str) {
+      out.error = "health sample missing string \"field\"";
+      return out;
+    }
+    // min/max/l2 may be JSON null when no finite point exists, so only
+    // the integral fields are required numeric.
+    for (const char* key : {"step", "field_id", "nan", "inf", "bad_rank"}) {
+      if (!want_num(h, key, out.error, "health sample")) {
+        return out;
+      }
+    }
+    ++out.health_samples;
+  }
+  const JsonValue* steps = want_arr(*f, "steps", out.error, "\"flight\"");
+  if (steps == nullptr) {
+    return out;
+  }
+  for (const JsonValue& s : steps->arr) {
+    if (!want_num(s, "rank", out.error, "steps row") ||
+        !want_num(s, "step", out.error, "steps row")) {
+      return out;
+    }
+  }
+  const JsonValue* events = want_obj(*f, "events", out.error, "\"flight\"");
+  if (events == nullptr) {
+    return out;
+  }
+  SchemaCheck ev_check;
+  if (!check_events_value(*events, ev_check)) {
+    out.error = "embedded events: " + ev_check.error;
+    return out;
+  }
+  const JsonValue* trace = want_arr(*f, "trace", out.error, "\"flight\"");
+  if (trace == nullptr) {
+    return out;
+  }
+  for (const JsonValue& t : trace->arr) {
+    const JsonValue* name = t.find("name");
+    if (t.type != JsonValue::Type::Obj || name == nullptr ||
+        name->type != JsonValue::Type::Str) {
+      out.error = "trace row missing string \"name\"";
+      return out;
+    }
+    for (const char* key : {"rank", "t0_ns", "t1_ns"}) {
+      if (!want_num(t, key, out.error, "trace row")) {
+        return out;
+      }
+    }
+  }
+  const JsonValue* metrics = f->find("metrics");
+  if (metrics == nullptr || metrics->type != JsonValue::Type::Obj) {
+    out.error = "\"flight\" missing object \"metrics\"";
+    return out;
+  }
+  out.rank = static_cast<int>(f->find("rank")->num);
+  out.step = static_cast<std::int64_t>(f->find("step")->num);
+  out.reason = f->find("reason")->str;
+  out.ok = true;
+  return out;
+}
+
+PromCheck validate_prometheus_text(std::string_view text) {
+  PromCheck out;
+  std::string last_help;   // Family named by the most recent # HELP.
+  std::string family;      // Family announced by the most recent # TYPE.
+  std::size_t lineno = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::string_view line =
+        text.substr(pos, eol == std::string_view::npos ? eol : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++lineno;
+    const std::string at = " (line " + std::to_string(lineno) + ")";
+    if (line.empty()) {
+      continue;
+    }
+    auto second_word = [&line](std::size_t from) {
+      const std::size_t sp = line.find(' ', from);
+      return sp == std::string_view::npos
+                 ? std::make_pair(line.substr(from), std::string_view{})
+                 : std::make_pair(line.substr(from, sp - from),
+                                  line.substr(sp + 1));
+    };
+    if (line.rfind("# HELP ", 0) == 0) {
+      const auto [name, rest] = second_word(7);
+      if (name.empty()) {
+        out.error = "# HELP without a metric name" + at;
+        return out;
+      }
+      last_help = std::string(name);
+      ++out.helps;
+      continue;
+    }
+    if (line.rfind("# TYPE ", 0) == 0) {
+      const auto [name, kind] = second_word(7);
+      if (kind != "counter" && kind != "gauge" && kind != "histogram") {
+        out.error = "# TYPE " + std::string(name) + " has unknown kind \"" +
+                    std::string(kind) + "\"" + at;
+        return out;
+      }
+      if (last_help != name) {
+        out.error = "# TYPE " + std::string(name) +
+                    " not preceded by its # HELP line" + at;
+        return out;
+      }
+      family = std::string(name);
+      ++out.types;
+      continue;
+    }
+    if (line[0] == '#') {
+      continue;  // Other comments are legal and unchecked.
+    }
+    // Sample line: <name>[{labels}] <number>.
+    const std::size_t name_end = line.find_first_of("{ ");
+    if (name_end == std::string_view::npos) {
+      out.error = "sample line without a value" + at;
+      return out;
+    }
+    const std::string_view name = line.substr(0, name_end);
+    if (family.empty() || name.rfind(family, 0) != 0) {
+      out.error = "sample \"" + std::string(name) +
+                  "\" outside its # TYPE family" + at;
+      return out;
+    }
+    const std::size_t sp = line.rfind(' ');
+    const std::string value(line.substr(sp + 1));
+    char* end = nullptr;
+    (void)std::strtod(value.c_str(), &end);
+    const bool inf = value == "+Inf" || value == "-Inf" || value == "NaN";
+    if (!inf && (end == value.c_str() || *end != '\0')) {
+      out.error = "sample \"" + std::string(name) +
+                  "\" has unparseable value \"" + value + "\"" + at;
+      return out;
+    }
+    ++out.samples;
+  }
+  if (out.types == 0) {
+    out.error = "no # TYPE lines found";
+    return out;
+  }
+  out.ok = true;
+  return out;
+}
+
 }  // namespace jitfd::obs

@@ -86,4 +86,45 @@ SchemaCheck validate_metrics_json(std::string_view json);
 /// included).
 SchemaCheck validate_analysis_json(std::string_view json);
 
+/// Check the obs::events::to_json() schema: a top-level object with an
+/// "events" array (entries carry string "name"/"cat", numeric
+/// "rank"/"step"/"t_ns", and a "kv" object of numeric values) and a
+/// numeric "dropped" counter. items counts events.
+SchemaCheck validate_events_json(std::string_view json);
+
+/// Result of validate_flight_json.
+struct FlightCheck {
+  bool ok = false;
+  std::string error;             ///< First violation (empty when ok).
+  int rank = -1;                 ///< flight.rank (culprit rank).
+  std::int64_t step = -1;        ///< flight.step.
+  std::string reason;            ///< flight.reason.
+  std::int64_t health_samples = 0;  ///< Entries in flight.health.
+};
+
+/// Check the obs::flight dump-bundle schema (schema_version 1): a
+/// top-level "flight" object with string "reason"/"detail", numeric
+/// "rank"/"step", a "config" object, a "health" array of health
+/// samples, a "steps" array of {rank, step} rows, an embedded events
+/// document, a "trace" array of span rows, and an embedded metrics
+/// document.
+FlightCheck validate_flight_json(std::string_view json);
+
+/// Result of validate_prometheus_text.
+struct PromCheck {
+  bool ok = false;
+  std::string error;        ///< First violation (empty when ok).
+  std::int64_t helps = 0;   ///< "# HELP" lines seen.
+  std::int64_t types = 0;   ///< "# TYPE" lines seen.
+  std::int64_t samples = 0; ///< Sample lines seen.
+};
+
+/// Check Prometheus text exposition as obs::metrics::to_prometheus
+/// emits it: every "# TYPE <name> <kind>" has kind in
+/// counter|gauge|histogram and is immediately preceded by a
+/// "# HELP <name> ..." line for the same family; every sample line is
+/// "<name>[{labels}] <number>" where <name> extends the family
+/// announced by the most recent "# TYPE".
+PromCheck validate_prometheus_text(std::string_view text);
+
 }  // namespace jitfd::obs

@@ -37,6 +37,7 @@ namespace {
 
 struct Instrument {
   Snapshot::Kind kind;
+  std::string help;
   Counter* counter = nullptr;
   Gauge* gauge = nullptr;
   Histogram* histogram = nullptr;
@@ -55,18 +56,22 @@ Registry& registry() {
 }
 
 template <class T>
-T& lookup(std::string_view name, Snapshot::Kind kind, T* Instrument::*slot) {
+T& lookup(std::string_view name, std::string_view help, Snapshot::Kind kind,
+          T* Instrument::*slot) {
   Registry& r = registry();
   std::lock_guard<std::mutex> lock(r.mu);
   auto it = r.instruments.find(name);
   if (it == r.instruments.end()) {
     Instrument inst;
     inst.kind = kind;
+    inst.help = std::string(help);
     inst.*slot = new T();
     it = r.instruments.emplace(std::string(name), inst).first;
   } else if (it->second.kind != kind) {
     throw std::logic_error("obs::metrics: instrument '" + std::string(name) +
                            "' already registered as a different kind");
+  } else if (it->second.help.empty() && !help.empty()) {
+    it->second.help = std::string(help);
   }
   return *(it->second.*slot);
 }
@@ -91,6 +96,38 @@ void append_double(std::ostringstream& os, double v) {
   } else {
     os << "0";
   }
+}
+
+std::string escape_json(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// Prometheus HELP text escaping: backslash and line feed only.
+std::string escape_prom_help(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
 }
 
 std::string sanitize_prom(std::string_view name) {
@@ -131,16 +168,23 @@ void Histogram::reset() {
   sum_.store(0.0, std::memory_order_relaxed);
 }
 
-Counter& counter(std::string_view name) {
-  return lookup<Counter>(name, Snapshot::Kind::Counter, &Instrument::counter);
+Counter& counter(std::string_view name) { return counter(name, {}); }
+
+Counter& counter(std::string_view name, std::string_view help) {
+  return lookup<Counter>(name, help, Snapshot::Kind::Counter,
+                         &Instrument::counter);
 }
 
-Gauge& gauge(std::string_view name) {
-  return lookup<Gauge>(name, Snapshot::Kind::Gauge, &Instrument::gauge);
+Gauge& gauge(std::string_view name) { return gauge(name, {}); }
+
+Gauge& gauge(std::string_view name, std::string_view help) {
+  return lookup<Gauge>(name, help, Snapshot::Kind::Gauge, &Instrument::gauge);
 }
 
-Histogram& histogram(std::string_view name) {
-  return lookup<Histogram>(name, Snapshot::Kind::Histogram,
+Histogram& histogram(std::string_view name) { return histogram(name, {}); }
+
+Histogram& histogram(std::string_view name, std::string_view help) {
+  return lookup<Histogram>(name, help, Snapshot::Kind::Histogram,
                            &Instrument::histogram);
 }
 
@@ -164,6 +208,7 @@ std::vector<Snapshot> snapshot() {
   for (const auto& [name, inst] : r.instruments) {
     Snapshot s;
     s.name = name;
+    s.help = inst.help;
     s.kind = inst.kind;
     switch (inst.kind) {
       case Snapshot::Kind::Counter:
@@ -197,7 +242,8 @@ std::string to_json() {
     os << (first ? "\n" : ",\n");
     first = false;
     os << "    {\"name\": \"" << s.name << "\", \"type\": \""
-       << kind_name(s.kind) << "\", ";
+       << kind_name(s.kind) << "\", \"help\": \"" << escape_json(s.help)
+       << "\", ";
     switch (s.kind) {
       case Snapshot::Kind::Counter:
         os << "\"value\": " << s.count << "}";
@@ -237,6 +283,13 @@ std::string to_prometheus() {
   std::ostringstream os;
   for (const Snapshot& s : snaps) {
     const std::string prom = sanitize_prom(s.name);
+    // HELP precedes TYPE (the exposition-format convention; trace_check
+    // --metrics validates the pairing). Empty help keeps the bare line.
+    os << "# HELP " << prom;
+    if (!s.help.empty()) {
+      os << " " << escape_prom_help(s.help);
+    }
+    os << "\n";
     os << "# TYPE " << prom << " " << kind_name(s.kind) << "\n";
     switch (s.kind) {
       case Snapshot::Kind::Counter:

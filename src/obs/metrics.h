@@ -114,9 +114,17 @@ class Histogram {
 /// Look up (registering on first use) an instrument. The returned
 /// reference lives forever; a name registered as one kind must not be
 /// reused as another (throws std::logic_error).
+///
+/// The `help` overloads attach a one-line description, exported as the
+/// Prometheus `# HELP` text and the JSON "help" field. The description
+/// sticks to the instrument: a later lookup without (or with an empty)
+/// help keeps the existing text, and the first non-empty help wins.
 Counter& counter(std::string_view name);
+Counter& counter(std::string_view name, std::string_view help);
 Gauge& gauge(std::string_view name);
+Gauge& gauge(std::string_view name, std::string_view help);
 Histogram& histogram(std::string_view name);
+Histogram& histogram(std::string_view name, std::string_view help);
 
 /// Zero every registered instrument (registrations are kept). Meant for
 /// quiescent moments, like trace reset().
@@ -127,6 +135,7 @@ void reset();
 struct Snapshot {
   enum class Kind { Counter, Gauge, Histogram };
   std::string name;
+  std::string help;  ///< One-line description ("" when never given).
   Kind kind = Kind::Counter;
   std::uint64_t count = 0;  ///< Counter value / histogram count.
   double value = 0.0;       ///< Gauge value / histogram sum.

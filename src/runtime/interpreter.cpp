@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <functional>
+#include <limits>
 #include <stdexcept>
 #include <thread>
 
@@ -384,6 +385,67 @@ void Interpreter::execute(const ir::Node& node) {
       sparse_ops_.at(static_cast<std::size_t>(node.sparse_id))->apply(time_);
       return;
     }
+    case ir::NodeType::HealthCheck:
+      execute_health_check(node);
+      return;
+  }
+}
+
+void Interpreter::execute_health_check(const ir::Node& node) {
+  // Same guard the generated kernel bakes in: identical on every rank,
+  // so the monitor's collectives stay in lockstep.
+  if (health_sink_ == nullptr || health_every_ <= 0 ||
+      time_ % health_every_ != 0) {
+    return;
+  }
+  for (const ir::HaloNeed& need : node.needs) {
+    const grid::Function& fn = fields_->at(need.field_id);
+    const float* buf = fn.buffer(fn.buffer_index(need.time_offset, time_));
+    const std::vector<std::int64_t> strides = strides_of(fn);
+    const auto& shape = fn.grid().local_shape();
+    const auto nd = shape.size();
+
+    obs::health::LocalStats stats;
+    stats.min = std::numeric_limits<double>::infinity();
+    stats.max = -std::numeric_limits<double>::infinity();
+
+    // Odometer over the owned interior; ghosts are never read (they may
+    // hold stale or redundantly-computed values).
+    std::vector<std::int64_t> ix(nd, 0);
+    bool done = false;
+    while (!done) {
+      std::int64_t lin = 0;
+      for (std::size_t d = 0; d < nd; ++d) {
+        lin += (ix[d] + fn.lpad()) * strides[d];
+      }
+      const double v = static_cast<double>(buf[lin]);
+      if (std::isnan(v)) {
+        ++stats.nan_count;
+      } else if (std::isinf(v)) {
+        ++stats.inf_count;
+      } else {
+        if (v < stats.min) {
+          stats.min = v;
+        }
+        if (v > stats.max) {
+          stats.max = v;
+        }
+        stats.l2sq += v * v;
+      }
+      std::size_t d = nd;
+      for (;;) {
+        if (d == 0) {
+          done = true;
+          break;
+        }
+        --d;
+        if (++ix[d] < shape[d]) {
+          break;
+        }
+        ix[d] = 0;
+      }
+    }
+    health_sink_->on_check(need.field_id, time_, stats);
   }
 }
 
@@ -445,7 +507,8 @@ void Interpreter::run(std::int64_t time_m, std::int64_t time_M,
                                      std::int64_t t) {
     for (const ir::NodePtr& child : children) {
       if (child->type == ir::NodeType::HaloComm ||
-          child->type == ir::NodeType::SparseOp) {
+          child->type == ir::NodeType::SparseOp ||
+          child->type == ir::NodeType::HealthCheck) {
         execute(*child);
         continue;
       }
@@ -470,6 +533,9 @@ void Interpreter::run(std::int64_t time_m, std::int64_t time_M,
     if (top->time_stride <= 1) {
       for (std::int64_t t = time_m; t <= time_M; ++t) {
         time_ = t;
+        if (health_sink_ != nullptr) {
+          health_sink_->on_step(t);
+        }
         const obs::Span step("step", obs::Cat::Run, t);
         step_delay(t);
         run_step_children(top->body, t);
@@ -492,6 +558,9 @@ void Interpreter::run(std::int64_t time_m, std::int64_t time_M,
           continue;
         }
         time_ = strip + child->time_shift;
+        if (health_sink_ != nullptr) {
+          health_sink_->on_step(time_);
+        }
         const obs::Span step("step", obs::Cat::Run, time_);
         step_delay(time_);
         run_step_children(child->body, time_);

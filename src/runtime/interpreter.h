@@ -14,6 +14,7 @@
 
 #include "ir/iet.h"
 #include "ir/lower.h"
+#include "obs/health.h"
 #include "runtime/halo.h"
 
 namespace jitfd::runtime {
@@ -41,6 +42,15 @@ class Interpreter {
   void run(std::int64_t time_m, std::int64_t time_M,
            const std::map<std::string, double>& scalars);
 
+  /// Install the numerical-health sink: HealthCheck nodes reduce the
+  /// owned interior and report every `every` steps (0 disables; `sink`
+  /// also receives per-step notifications, mirroring the generated
+  /// kernel's ops->step/ops->health hooks).
+  void set_health(obs::health::Sink* sink, std::int64_t every) {
+    health_sink_ = sink;
+    health_every_ = every;
+  }
+
  private:
   struct Compiled;  // Opaque per-expression program.
 
@@ -51,10 +61,14 @@ class Interpreter {
 
   double eval(const Compiled& program) const;
 
+  void execute_health_check(const ir::Node& node);
+
   ir::NodePtr root_;
   const ir::FieldTable* fields_;
   HaloExchange* halo_;
   std::vector<SparseOp*> sparse_ops_;
+  obs::health::Sink* health_sink_ = nullptr;
+  std::int64_t health_every_ = 0;
 
   // Execution state.
   std::vector<double> scalar_values_;

@@ -4,6 +4,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/events.h"
 #include "obs/trace.h"
 
 namespace smpi {
@@ -19,6 +20,7 @@ void run(int nranks, const std::function<void(Communicator&)>& body) {
   for (int r = 1; r < nranks; ++r) {
     threads.emplace_back([&world, &body, &errors, r] {
       jitfd::obs::set_thread_rank(r);
+      jitfd::obs::events::set_thread_rank(r);
       Communicator comm(&world, r);
       try {
         body(comm);
@@ -29,6 +31,7 @@ void run(int nranks, const std::function<void(Communicator&)>& body) {
   }
   {
     jitfd::obs::set_thread_rank(0);
+    jitfd::obs::events::set_thread_rank(0);
     Communicator comm(&world, 0);
     try {
       body(comm);

@@ -126,8 +126,16 @@ TEST(Lowering, DeepHaloStripScheduleForDiffusion) {
       EXPECT_EQ(sub->name, "substep");
       EXPECT_EQ(sub->time_shift, shift);
       // The loop nest under the sub-step carries ghost extension
-      // (k - 1 - j) * width: 1 for sub-step 0, 0 for sub-step 1.
+      // (k - 1 - j) * width: 1 for sub-step 0, 0 for sub-step 1. Each
+      // sub-step also ends with the per-field health check so a check
+      // inside a guarded sub-step is skipped along with its compute
+      // (unless the obs layer is compiled out entirely).
+#ifdef JITFD_OBS_DISABLED
       ASSERT_EQ(sub->body.size(), 1U);
+#else
+      ASSERT_EQ(sub->body.size(), 2U);
+      EXPECT_EQ(sub->body[1]->type, ir::NodeType::HealthCheck);
+#endif
       const ir::NodePtr& x_loop = sub->body[0];
       ASSERT_EQ(x_loop->type, ir::NodeType::Iteration);
       EXPECT_EQ(x_loop->lo.ghost, 1 - shift);
@@ -405,11 +413,28 @@ TEST(Lowering, RejectsReservedSymbolNamesAndDuplicateFieldNames) {
   EXPECT_THROW(
       ir::lower_to_iet({ir::Eq(u.forward(), u2.now() + 1)}, g, {}, {}, info2),
       std::invalid_argument);
-  // Symbols that merely start with 'r' are fine.
+  // User symbols in the runtime's reserved prefix would collide with
+  // generated health/observability plumbing.
+  ir::LoweringInfo info_res;
+  EXPECT_THROW(
+      ir::lower_to_iet(
+          {ir::Eq(u.forward(), u.now() * sym::symbol("jitfd_foo"))}, g, {},
+          {}, info_res),
+      std::invalid_argument);
+  // Symbols that merely start with 'r' are fine. The user scalar comes
+  // first; lowering appends the reserved health-interval scalar (absent
+  // when the obs layer is compiled out).
   ir::LoweringInfo info3;
   ir::lower_to_iet({ir::Eq(u.forward(), u.now() * sym::symbol("rho"))}, g, {},
                    {}, info3);
-  EXPECT_EQ(info3.scalar_order.size(), 1U);
+#ifdef JITFD_OBS_DISABLED
+  ASSERT_EQ(info3.scalar_order.size(), 1U);
+  EXPECT_EQ(info3.scalar_order[0], "rho");
+#else
+  ASSERT_EQ(info3.scalar_order.size(), 2U);
+  EXPECT_EQ(info3.scalar_order[0], "rho");
+  EXPECT_EQ(info3.scalar_order[1], ir::kHealthIntervalScalar);
+#endif
 }
 
 TEST(Lowering, UndecomposedDimensionNeedsNoExchange) {

@@ -1,13 +1,18 @@
 // trace_check: CI gate validating observability artifacts.
 //
-//   trace_check <trace.json> [--min-ranks N] [--min-events N]
-//               [--metrics FILE] [--analysis FILE]
+//   trace_check [trace.json] [--min-ranks N] [--min-events N]
+//               [--metrics FILE] [--analysis FILE] [--events FILE]
+//               [--flight FILE] [--expect-rank N] [--expect-step N]
 //
 // The positional file is a Chrome trace-event JSON (from
 // examples/quickstart --trace=..., or any RunSummary trace handle's
-// write_chrome()). --metrics validates an obs::metrics::to_json()
-// export and --analysis an obs::analysis_json() report against their
-// schemas. Exits 0 when every given file passes; prints the first
+// write_chrome()). --metrics validates an obs::metrics export — JSON
+// (obs::metrics::to_json) or Prometheus text (to_prometheus), sniffed
+// from the first non-whitespace byte. --analysis checks an
+// obs::analysis_json() report, --events an obs::events::to_json()
+// export, and --flight a flight-recorder bundle; --expect-rank /
+// --expect-step additionally assert the bundle's culprit rank and
+// step. Exits 0 when every given file passes; prints the first
 // violation and exits 1 otherwise.
 #include <cstdlib>
 #include <fstream>
@@ -30,14 +35,28 @@ bool slurp(const std::string& path, std::string& out) {
   return true;
 }
 
+int usage() {
+  std::cerr << "usage: trace_check [trace.json] [--min-ranks N] "
+               "[--min-events N] [--metrics FILE] [--analysis FILE] "
+               "[--events FILE] [--flight FILE] [--expect-rank N] "
+               "[--expect-step N]\n";
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string path;
   std::string metrics_path;
   std::string analysis_path;
+  std::string events_path;
+  std::string flight_path;
   int min_ranks = 1;
   long min_events = 1;
+  long expect_rank = -1;
+  long expect_step = -1;
+  bool have_expect_rank = false;
+  bool have_expect_step = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--min-ranks" && i + 1 < argc) {
@@ -48,16 +67,29 @@ int main(int argc, char** argv) {
       metrics_path = argv[++i];
     } else if (arg == "--analysis" && i + 1 < argc) {
       analysis_path = argv[++i];
+    } else if (arg == "--events" && i + 1 < argc) {
+      events_path = argv[++i];
+    } else if (arg == "--flight" && i + 1 < argc) {
+      flight_path = argv[++i];
+    } else if (arg == "--expect-rank" && i + 1 < argc) {
+      expect_rank = std::atol(argv[++i]);
+      have_expect_rank = true;
+    } else if (arg == "--expect-step" && i + 1 < argc) {
+      expect_step = std::atol(argv[++i]);
+      have_expect_step = true;
     } else if (path.empty() && arg[0] != '-') {
       path = arg;
     } else {
-      std::cerr << "usage: trace_check <trace.json> [--min-ranks N] "
-                   "[--min-events N] [--metrics FILE] [--analysis FILE]\n";
-      return 2;
+      return usage();
     }
   }
-  if (path.empty() && metrics_path.empty() && analysis_path.empty()) {
+  if (path.empty() && metrics_path.empty() && analysis_path.empty() &&
+      events_path.empty() && flight_path.empty()) {
     std::cerr << "trace_check: no input file\n";
+    return 2;
+  }
+  if ((have_expect_rank || have_expect_step) && flight_path.empty()) {
+    std::cerr << "trace_check: --expect-rank/--expect-step need --flight\n";
     return 2;
   }
 
@@ -89,20 +121,35 @@ int main(int argc, char** argv) {
   }
 
   if (!metrics_path.empty()) {
-    std::string json;
-    if (!slurp(metrics_path, json)) {
+    std::string body;
+    if (!slurp(metrics_path, body)) {
       std::cerr << "trace_check: cannot open " << metrics_path << '\n';
       return 1;
     }
-    const jitfd::obs::SchemaCheck check =
-        jitfd::obs::validate_metrics_json(json);
-    if (!check.ok) {
-      std::cerr << "trace_check: " << metrics_path << ": " << check.error
-                << '\n';
-      return 1;
+    // JSON export starts with '{'; anything else is Prometheus text.
+    const std::size_t first = body.find_first_not_of(" \t\r\n");
+    if (first != std::string::npos && body[first] == '{') {
+      const jitfd::obs::SchemaCheck check =
+          jitfd::obs::validate_metrics_json(body);
+      if (!check.ok) {
+        std::cerr << "trace_check: " << metrics_path << ": " << check.error
+                  << '\n';
+        return 1;
+      }
+      std::cout << "trace_check: " << metrics_path << ": ok (" << check.items
+                << " metrics)\n";
+    } else {
+      const jitfd::obs::PromCheck check =
+          jitfd::obs::validate_prometheus_text(body);
+      if (!check.ok) {
+        std::cerr << "trace_check: " << metrics_path << ": " << check.error
+                  << '\n';
+        return 1;
+      }
+      std::cout << "trace_check: " << metrics_path << ": ok (" << check.types
+                << " families, " << check.helps << " help lines, "
+                << check.samples << " samples)\n";
     }
-    std::cout << "trace_check: " << metrics_path << ": ok (" << check.items
-              << " metrics)\n";
   }
 
   if (!analysis_path.empty()) {
@@ -120,6 +167,52 @@ int main(int argc, char** argv) {
     }
     std::cout << "trace_check: " << analysis_path << ": ok (" << check.items
               << " sections)\n";
+  }
+
+  if (!events_path.empty()) {
+    std::string json;
+    if (!slurp(events_path, json)) {
+      std::cerr << "trace_check: cannot open " << events_path << '\n';
+      return 1;
+    }
+    const jitfd::obs::SchemaCheck check =
+        jitfd::obs::validate_events_json(json);
+    if (!check.ok) {
+      std::cerr << "trace_check: " << events_path << ": " << check.error
+                << '\n';
+      return 1;
+    }
+    std::cout << "trace_check: " << events_path << ": ok (" << check.items
+              << " events)\n";
+  }
+
+  if (!flight_path.empty()) {
+    std::string json;
+    if (!slurp(flight_path, json)) {
+      std::cerr << "trace_check: cannot open " << flight_path << '\n';
+      return 1;
+    }
+    const jitfd::obs::FlightCheck check =
+        jitfd::obs::validate_flight_json(json);
+    if (!check.ok) {
+      std::cerr << "trace_check: " << flight_path << ": " << check.error
+                << '\n';
+      return 1;
+    }
+    if (have_expect_rank && check.rank != expect_rank) {
+      std::cerr << "trace_check: " << flight_path << ": expected rank "
+                << expect_rank << ", bundle names rank " << check.rank << '\n';
+      return 1;
+    }
+    if (have_expect_step && check.step != expect_step) {
+      std::cerr << "trace_check: " << flight_path << ": expected step "
+                << expect_step << ", bundle names step " << check.step << '\n';
+      return 1;
+    }
+    std::cout << "trace_check: " << flight_path << ": ok (reason \""
+              << check.reason << "\", rank " << check.rank << ", step "
+              << check.step << ", " << check.health_samples
+              << " health samples)\n";
   }
   return 0;
 }
