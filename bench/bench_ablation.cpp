@@ -32,7 +32,7 @@ bool have_cc() {
 
 template <typename Model>
 void jit_kernel(benchmark::State& state, bool flop_reduce,
-                std::int64_t block) {
+                std::int64_t tile) {
   if (!have_cc()) {
     state.SkipWithError("no C compiler");
     return;
@@ -44,7 +44,9 @@ void jit_kernel(benchmark::State& state, bool flop_reduce,
       std::vector<std::int64_t>{kEdge / 2, kEdge / 2}, 1e-3F);
   ir::CompileOptions opts;
   opts.flop_reduce = flop_reduce;
-  opts.block = block;
+  if (tile > 0) {
+    opts.tile = {tile, 0};
+  }
   auto op = model.make_operator(opts);
   op->set_default_backend(Operator::Backend::Jit);
   const double dt = model.critical_dt();

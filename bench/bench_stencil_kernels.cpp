@@ -45,13 +45,16 @@ template <typename Model>
 benchutil::MeasuredSeries run_kernel(const std::string& name,
                                      Operator::Backend backend, int so,
                                      int reps,
-                                     std::int64_t health_interval = 0) {
+                                     std::int64_t health_interval = 0,
+                                     std::vector<std::int64_t> tile = {}) {
   const Grid g({kEdge, kEdge}, {1.0, 1.0});
   Model model(g, so);
   model.wavefield().fill_global_box(
       0, std::vector<std::int64_t>{kEdge / 4, kEdge / 4},
       std::vector<std::int64_t>{kEdge / 2, kEdge / 2}, 1.0F);
-  auto op = model.make_operator({});
+  jitfd::ir::CompileOptions opts;
+  opts.tile = std::move(tile);
+  auto op = model.make_operator(opts);
   op->set_default_backend(backend);
   const double dt = model.critical_dt();
   std::int64_t time = 0;
@@ -136,6 +139,15 @@ int main(int argc, char** argv) {
     // stencil where one field sweep is comparable to one step).
     rows.push_back(
         run_kernel<TtiModel>("tti_jit/so4/health8", kJit, 4, reps, 8));
+    // Tiled/untiled pairs: the untiled series above are the baselines.
+    // At 48^2 the working set is cache-resident, so this measures the
+    // tiling machinery's overhead (window ternaries, tile-loop startup),
+    // which the sentinel keeps honest; the cache win itself needs grids
+    // past LLC size (DESIGN.md, tiling section).
+    rows.push_back(run_kernel<AcousticModel>("acoustic_jit/so4/tile16", kJit,
+                                             4, reps, 0, {16, 0}));
+    rows.push_back(
+        run_kernel<TtiModel>("tti_jit/so4/tile16", kJit, 4, reps, 0, {16, 0}));
   }
 
   for (const benchutil::MeasuredSeries& s : rows) {

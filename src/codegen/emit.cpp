@@ -1,6 +1,7 @@
 #include "codegen/emit.h"
 
 #include <cmath>
+#include <cstdlib>
 #include <map>
 #include <set>
 #include <sstream>
@@ -180,6 +181,81 @@ class Emitter {
     }
   }
 
+  /// SIMD legality clauses for a vector (innermost) loop. The aligned
+  /// claim is provable: every fields[i] the kernel receives is the start
+  /// of a 64-byte-aligned Function allocation (grid/function.cpp). The
+  /// safelen bound comes from the cluster fission rules: an equation
+  /// reading its own cluster's written (field, time) at a nonzero space
+  /// offset is fissioned into a separate nest, so innermost loop-carried
+  /// dependences cannot normally occur — the scan below is a defensive
+  /// proof, emitting safelen(min distance) if one ever appears.
+  std::string simd_clauses(const ir::Node& loop) const {
+    std::set<std::string> names;
+    std::set<std::pair<int, int>> writes;
+    std::int64_t min_dist = 0;  // 0 = unbounded (no carried dependence).
+    const std::function<void(const ir::Node&)> scan =
+        [&](const ir::Node& n) {
+          if (n.type == ir::NodeType::Expression) {
+            if (n.target.kind() == sym::Kind::FieldAccess) {
+              writes.emplace(n.target.node().field.id,
+                             n.target.node().time_offset);
+            }
+            for (const sym::Ex& e : {n.target, n.value}) {
+              sym::walk(e, [&](const sym::Ex& sub) {
+                if (sub.kind() == sym::Kind::FieldAccess) {
+                  names.insert(sub.node().field.name);
+                }
+              });
+            }
+          }
+          for (const ir::NodePtr& c : n.body) {
+            scan(*c);
+          }
+        };
+    scan(loop);
+    const std::function<void(const ir::Node&)> dep_scan =
+        [&](const ir::Node& n) {
+          if (n.type == ir::NodeType::Expression) {
+            sym::walk(n.value, [&](const sym::Ex& sub) {
+              if (sub.kind() != sym::Kind::FieldAccess) {
+                return;
+              }
+              const sym::ExprNode& a = sub.node();
+              if (writes.count({a.field.id, a.time_offset}) == 0) {
+                return;
+              }
+              const int off = a.space_offsets[static_cast<std::size_t>(
+                  a.field.ndims - 1)];
+              if (off != 0) {
+                const std::int64_t dist = std::abs(off);
+                min_dist = min_dist == 0 ? dist : std::min(min_dist, dist);
+              }
+            });
+          }
+          for (const ir::NodePtr& c : n.body) {
+            dep_scan(*c);
+          }
+        };
+    dep_scan(loop);
+    std::string clauses;
+    if (!names.empty()) {
+      clauses += " aligned(";
+      bool first = true;
+      for (const std::string& name : names) {
+        if (!first) {
+          clauses += ',';
+        }
+        clauses += name;
+        first = false;
+      }
+      clauses += ":64)";
+    }
+    if (min_dist > 0) {
+      clauses += " safelen(" + std::to_string(min_dist) + ")";
+    }
+    return clauses;
+  }
+
   void emit_loop(const ir::Node& n, bool in_core) {
     const auto d = static_cast<std::size_t>(n.dim);
     const std::int64_t size = grid_->local_shape()[d];
@@ -194,7 +270,8 @@ class Emitter {
 
     if (n.props.parallel && opts_->openmp) {
       if (opts_->lang == ir::Lang::OpenMP) {
-        line(n.props.vector ? "#pragma omp parallel for simd schedule(static)"
+        line(n.props.vector ? "#pragma omp parallel for simd schedule(static)" +
+                                  simd_clauses(n)
                             : "#pragma omp parallel for schedule(static)");
       } else {
         line("#pragma acc parallel loop collapse(" +
@@ -202,30 +279,33 @@ class Emitter {
              ")");
       }
     } else if (n.props.vector && opts_->lang == ir::Lang::OpenMP) {
-      line("#pragma omp simd");
+      line("#pragma omp simd" + simd_clauses(n));
     }
 
-    const bool blocked = n.props.block > 0 && opts_->lang == ir::Lang::OpenMP;
-    if (blocked) {
-      const std::string bv = v + "b";
-      line("for (long " + bv + " = " + std::to_string(lo) + "; " + bv +
-           " < " + std::to_string(hi) + "; " + bv + " += " +
-           std::to_string(n.props.block) + ")");
-      line("{");
-      ++indent_;
-      if (in_core && opts_->mode == ir::MpiMode::Full) {
-        // Prod the asynchronous progress engine once per tile block
-        // (paper Section III-h: a call to MPI_Test before each new block).
-        line("ops->progress(hctx);");
+    // Inside an enclosing tile loop over the same dimension, execute the
+    // intersection of this loop's bounds with the active tile window
+    // (widened by tile_expand for time-tiled sub-steps).
+    std::string lo_s = std::to_string(lo);
+    std::string hi_s = std::to_string(hi);
+    const auto win = block_win_.find(n.dim);
+    if (win != block_win_.end()) {
+      const std::string& bv = win->second.first;
+      const std::string end = bv + " + " + std::to_string(win->second.second);
+      if (n.tile_expand > 0) {
+        const std::string e = std::to_string(n.tile_expand);
+        lo_s = "(" + bv + " - " + e + " > " + lo_s + " ? " + bv + " - " + e +
+               " : " + lo_s + ")";
+        hi_s = "(" + end + " + " + e + " < " + hi_s + " ? " + end + " + " +
+               e + " : " + hi_s + ")";
+      } else {
+        // Tile loops carry the same bounds as the nest, so the window
+        // start needs no lower clamp.
+        lo_s = bv;
+        hi_s = "(" + end + " < " + hi_s + " ? " + end + " : " + hi_s + ")";
       }
-      line("for (long " + v + " = " + bv + "; " + v + " < (" + bv + " + " +
-           std::to_string(n.props.block) + " < " + std::to_string(hi) +
-           " ? " + bv + " + " + std::to_string(n.props.block) + " : " +
-           std::to_string(hi) + "); " + v + " += 1)");
-    } else {
-      line("for (long " + v + " = " + std::to_string(lo) + "; " + v + " < " +
-           std::to_string(hi) + "; " + v + " += 1)");
     }
+    line("for (long " + v + " = " + lo_s + "; " + v + " < " + hi_s + "; " +
+         v + " += 1)");
     line("{");
     ++indent_;
     for (const ir::NodePtr& child : n.body) {
@@ -233,10 +313,40 @@ class Emitter {
     }
     --indent_;
     line("}");
-    if (blocked) {
-      --indent_;
-      line("}");
+  }
+
+  void emit_block_loop(const ir::Node& n, bool in_core) {
+    const auto d = static_cast<std::size_t>(n.dim);
+    const std::int64_t size = grid_->local_shape()[d];
+    const std::int64_t lo =
+        n.lo.resolve_lo(size, grid_->has_neighbor_low(n.dim));
+    const std::int64_t hi =
+        n.hi.resolve_hi(size, grid_->has_neighbor_high(n.dim));
+    const std::string bv = std::string(dim_var(n.dim)) + "b";
+    if (n.props.parallel && opts_->openmp) {
+      if (opts_->lang == ir::Lang::OpenMP) {
+        line("#pragma omp parallel for schedule(static)");
+      } else {
+        line("#pragma acc parallel loop present(" + acc_present_ + ")");
+      }
     }
+    line("for (long " + bv + " = " + std::to_string(lo) + "; " + bv + " < " +
+         std::to_string(hi) + "; " + bv + " += " + std::to_string(n.tile) +
+         ")");
+    line("{");
+    ++indent_;
+    if (in_core && opts_->mode == ir::MpiMode::Full) {
+      // Prod the asynchronous progress engine once per tile block
+      // (paper Section III-h: a call to MPI_Test before each new block).
+      line("ops->progress(hctx);");
+    }
+    block_win_[n.dim] = {bv, n.tile};
+    for (const ir::NodePtr& child : n.body) {
+      emit_node(*child, in_core);
+    }
+    block_win_.erase(n.dim);
+    --indent_;
+    line("}");
   }
 
   /// In-situ numerical-health reductions (paper-style generated
@@ -376,6 +486,9 @@ class Emitter {
       case ir::NodeType::Iteration:
         emit_loop(n, in_core);
         return;
+      case ir::NodeType::BlockLoop:
+        emit_block_loop(n, in_core);
+        return;
       case ir::NodeType::HaloComm:
         emit_halo_comm(n);
         return;
@@ -405,6 +518,8 @@ class Emitter {
   std::ostringstream out_;
   int indent_ = 0;
   std::string acc_present_;
+  /// Active tile windows: dim -> (block variable name, tile size).
+  std::map<int, std::pair<std::string, std::int64_t>> block_win_;
 };
 
 std::string Emitter::run(const ir::NodePtr& iet) {
@@ -550,6 +665,49 @@ std::string Emitter::run(const ir::NodePtr& iet) {
         ++indent_;
         line("const long time = strip_t;");
         emit_node(*child, /*in_core=*/false);
+        --indent_;
+        line("}");
+        continue;
+      }
+      if (child->type == ir::NodeType::BlockLoop) {
+        // Time-tiled walker: the sub-step sequence advances inside each
+        // tile window. Guards and time bindings replicate per window; the
+        // per-step hook stays with the trailing health sub-steps (a
+        // sub-step only completes once all windows have run).
+        const auto bd = static_cast<std::size_t>(child->dim);
+        const std::int64_t bsize = grid_->local_shape()[bd];
+        const std::int64_t blo =
+            child->lo.resolve_lo(bsize, grid_->has_neighbor_low(child->dim));
+        const std::int64_t bhi =
+            child->hi.resolve_hi(bsize, grid_->has_neighbor_high(child->dim));
+        const std::string bv = std::string(dim_var(child->dim)) + "b";
+        line("for (long " + bv + " = " + std::to_string(blo) + "; " + bv +
+             " < " + std::to_string(bhi) + "; " + bv + " += " +
+             std::to_string(child->tile) + ")");
+        line("{");
+        ++indent_;
+        block_win_[child->dim] = {bv, child->tile};
+        for (const ir::NodePtr& sub : child->body) {
+          line("/* sub-step " + std::to_string(sub->time_shift) +
+               " (tiled) */");
+          if (sub->time_shift > 0) {
+            line("if (strip_t + " + std::to_string(sub->time_shift) +
+                 " <= time_M)");
+          }
+          line("{");
+          ++indent_;
+          line(sub->time_shift > 0
+                   ? "const long time = strip_t + " +
+                         std::to_string(sub->time_shift) + ";"
+                   : "const long time = strip_t;");
+          emit_tvars();
+          for (const ir::NodePtr& inner : sub->body) {
+            emit_node(*inner, /*in_core=*/false);
+          }
+          --indent_;
+          line("}");
+        }
+        block_win_.erase(child->dim);
         --indent_;
         line("}");
         continue;

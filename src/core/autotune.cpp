@@ -1,5 +1,6 @@
 #include "core/autotune.h"
 
+#include <algorithm>
 #include <chrono>
 #include <set>
 
@@ -28,6 +29,52 @@ std::vector<grid::Function*> fields_of(const std::vector<ir::Eq>& eqs) {
     }
   }
   return out;
+}
+
+/// Tile-shape candidates: untiled, plus outer-dimension blocks sized so
+/// one block's working set (block rows x the per-row footprint of every
+/// live buffer) fits a nominal last-level-cache share, plus a halved
+/// variant. Candidates not strictly smaller than the minimum rank-local
+/// extent are dropped here — the lowering pass would clamp them to
+/// untiled anyway, duplicating the untiled trial.
+std::vector<std::vector<std::int64_t>> tile_candidates(
+    const std::vector<grid::Function*>& fields, const grid::Grid& grid) {
+  std::vector<std::vector<std::int64_t>> cands;
+  cands.push_back({});  // untiled
+  const int nd = grid.ndims();
+  if (nd < 2) {
+    return cands;  // 1-D: the only dimension stays contiguous for SIMD
+  }
+  // Bytes one grid row (innermost extent) of every live buffer touches.
+  std::int64_t row_bytes = 0;
+  for (const grid::Function* f : fields) {
+    row_bytes += static_cast<std::int64_t>(sizeof(float)) *
+                 f->padded_shape().back() * f->time_buffers();
+  }
+  // Rows per tile along every non-innermost dim combined; for nd > 2 a
+  // dim-0 block of T spans T * mid-extents rows, so divide out.
+  std::int64_t rows = 1;
+  for (int d = 1; d < nd - 1; ++d) {
+    rows *= grid.shape()[static_cast<std::size_t>(d)] /
+            std::max<std::int64_t>(1, grid.topology()[static_cast<std::size_t>(d)]);
+  }
+  constexpr std::int64_t kCacheBytes = 1 << 25;  // nominal 32 MiB LLC share
+  const std::int64_t fit =
+      row_bytes > 0 && rows > 0 ? kCacheBytes / (row_bytes * rows) : 0;
+  const std::int64_t min_ext =
+      grid.shape()[0] / std::max<std::int64_t>(1, grid.topology()[0]);
+  for (std::int64_t t : {fit, fit / 2}) {
+    t = std::min(t, min_ext / 2);  // at least two blocks, else untiled wins
+    if (t < 2) {
+      continue;
+    }
+    std::vector<std::int64_t> cand(static_cast<std::size_t>(nd), 0);
+    cand[0] = t;
+    if (std::find(cands.begin(), cands.end(), cand) == cands.end()) {
+      cands.push_back(cand);
+    }
+  }
+  return cands;
 }
 
 }  // namespace
@@ -65,53 +112,91 @@ std::unique_ptr<Operator> autotune_operator(
     }
   };
 
+  const std::vector<std::vector<std::int64_t>> tiles =
+      tile_candidates(fields, grid);
+
   const smpi::Communicator& comm = grid.cart()->comm();
   double best_seconds = 0.0;
   bool first = true;
   for (const ir::MpiMode mode :
        {ir::MpiMode::Basic, ir::MpiMode::Diagonal, ir::MpiMode::Full}) {
     for (const int depth : {1, 2, 4}) {
-      ir::CompileOptions trial_opts = opts;
-      trial_opts.mode = mode;
-      trial_opts.exchange_depth = depth;
-      // Trials run without the sparse operations: their cost is
-      // pattern-independent and some (receiver interpolation) accumulate
-      // externally visible records that must not be polluted.
-      Operator trial(eqs, trial_opts);
-      if (trial.info().exchange_depth != depth) {
-        // The compiler clamped this depth (identically on every rank:
-        // clamping depends only on equations, topology and halo
-        // capacity), so the trial would duplicate a shallower one.
-        continue;
+      for (const std::vector<std::int64_t>& tile : tiles) {
+        ir::CompileOptions trial_opts = opts;
+        trial_opts.mode = mode;
+        trial_opts.exchange_depth = depth;
+        trial_opts.tile = tile;
+        // Trials run without the sparse operations: their cost is
+        // pattern-independent and some (receiver interpolation) accumulate
+        // externally visible records that must not be polluted.
+        Operator trial(eqs, trial_opts);
+        const AutotuneReport::TrialKey key{mode, depth, tile};
+        if (trial.info().exchange_depth != depth) {
+          // The compiler clamped this request (identically on every rank:
+          // clamping depends only on equations, topology and halo
+          // capacity), so the trial would duplicate a shallower one.
+          local_report.skipped[key] =
+              trial.info().exchange_depth_clamp_reason.empty()
+                  ? "exchange depth clamped to " +
+                        std::to_string(trial.info().exchange_depth)
+                  : trial.info().exchange_depth_clamp_reason;
+          continue;
+        }
+        const std::vector<std::int64_t>& eff_tile = trial.info().tile;
+        const bool eff_tiled =
+            std::any_of(eff_tile.begin(), eff_tile.end(),
+                        [](std::int64_t t) { return t > 0; });
+        if (!tile.empty() && !eff_tiled) {
+          // The whole tile request was clamped away: this trial would
+          // duplicate the untiled one (same reasoning — the clamp is
+          // rank-uniform by construction).
+          local_report.skipped[key] = trial.info().tile_clamp_reason.empty()
+                                          ? "tile clamped to untiled"
+                                          : trial.info().tile_clamp_reason;
+          continue;
+        }
+        // Key measured trials by the *effective* tile so partially
+        // clamped requests that land on the same schedule dedupe.
+        const AutotuneReport::TrialKey eff_key{
+            mode, depth, eff_tiled ? eff_tile : std::vector<std::int64_t>{}};
+        if (local_report.seconds_by_depth.count(eff_key) != 0) {
+          local_report.skipped[key] = trial.info().tile_clamp_reason.empty()
+                                          ? "duplicate of an earlier trial"
+                                          : trial.info().tile_clamp_reason;
+          continue;
+        }
+        comm.barrier();
+        const auto start = std::chrono::steady_clock::now();
+        trial.apply({.time_m = time_m,
+                     .time_M = time_m + trial_steps - 1,
+                     .scalars = scalars});
+        std::vector<double> elapsed{
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count()};
+        // The slowest rank gates a synchronous time step.
+        comm.allreduce(std::span<double>(elapsed), smpi::ReduceOp::Max);
+        local_report.seconds_by_depth[eff_key] = elapsed[0];
+        const auto mode_it = local_report.seconds.find(mode);
+        if (mode_it == local_report.seconds.end() ||
+            elapsed[0] < mode_it->second) {
+          local_report.seconds[mode] = elapsed[0];
+        }
+        if (first || elapsed[0] < best_seconds) {
+          first = false;
+          best_seconds = elapsed[0];
+          local_report.best = mode;
+          local_report.best_depth = depth;
+          local_report.best_tile = std::get<2>(eff_key);
+        }
+        restore();
       }
-      comm.barrier();
-      const auto start = std::chrono::steady_clock::now();
-      trial.apply({.time_m = time_m,
-                   .time_M = time_m + trial_steps - 1,
-                   .scalars = scalars});
-      std::vector<double> elapsed{std::chrono::duration<double>(
-                                      std::chrono::steady_clock::now() - start)
-                                      .count()};
-      // The slowest rank gates a synchronous time step.
-      comm.allreduce(std::span<double>(elapsed), smpi::ReduceOp::Max);
-      local_report.seconds_by_depth[{mode, depth}] = elapsed[0];
-      const auto mode_it = local_report.seconds.find(mode);
-      if (mode_it == local_report.seconds.end() ||
-          elapsed[0] < mode_it->second) {
-        local_report.seconds[mode] = elapsed[0];
-      }
-      if (first || elapsed[0] < best_seconds) {
-        first = false;
-        best_seconds = elapsed[0];
-        local_report.best = mode;
-        local_report.best_depth = depth;
-      }
-      restore();
     }
   }
 
   opts.mode = local_report.best;
   opts.exchange_depth = local_report.best_depth;
+  opts.tile = local_report.best_tile;
   if (report != nullptr) {
     *report = local_report;
   }

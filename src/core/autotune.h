@@ -10,9 +10,11 @@
 // free and the user applies the returned operator as usual.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -24,22 +26,31 @@ struct AutotuneReport {
   ir::MpiMode best = ir::MpiMode::Basic;
   /// Winning exchange depth (1 unless a communication-avoiding trial won).
   int best_depth = 1;
+  /// Winning effective tile shape (empty = untiled won).
+  std::vector<std::int64_t> best_tile;
   /// Measured seconds per pattern (slowest rank, best over trialled
-  /// exchange depths).
+  /// exchange depths and tile shapes).
   std::map<ir::MpiMode, double> seconds;
-  /// Full (pattern, exchange depth) -> seconds trial grid. Depths whose
-  /// request was clamped by the compiler (insufficient halo capacity,
-  /// sparse ops, ...) are skipped as duplicates of depth 1.
-  std::map<std::pair<ir::MpiMode, int>, double> seconds_by_depth;
+  /// One trial per (pattern, exchange depth, effective tile shape).
+  using TrialKey = std::tuple<ir::MpiMode, int, std::vector<std::int64_t>>;
+  /// Full trial grid -> seconds. Trials whose request was clamped by the
+  /// compiler (insufficient halo capacity, sparse ops, tile not smaller
+  /// than the local extent, ...) duplicate an already-measured point and
+  /// are recorded in `skipped` instead.
+  std::map<TrialKey, double> seconds_by_depth;
+  /// Requested-but-not-run trials -> the compiler's clamp reason.
+  std::map<TrialKey, std::string> skipped;
   int trial_steps = 0;
 };
 
-/// Build an Operator for `eqs` with the fastest communication pattern
-/// and exchange depth.
+/// Build an Operator for `eqs` with the fastest communication pattern,
+/// exchange depth and cache-tile shape.
 ///
-/// `opts.mode` and `opts.exchange_depth` are ignored; every pattern in
-/// {Basic, Diagonal, Full} is trialled jointly with exchange depths
-/// {1, 2, 4} for `trial_steps` steps each (using `scalars` for the
+/// `opts.mode`, `opts.exchange_depth` and `opts.tile` are ignored; every
+/// pattern in {Basic, Diagonal, Full} is trialled jointly with exchange
+/// depths {1, 2, 4} and a small set of tile-shape candidates (untiled
+/// plus outer-dimension blocks sized from the fields' per-row cache
+/// footprint) for `trial_steps` steps each (using `scalars` for the
 /// symbol bindings, starting at time step `time_m`). On serial grids no
 /// trials run and the mode stays None. The chosen operator is returned
 /// fresh (trial side effects on field data are rolled back).

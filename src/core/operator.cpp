@@ -1,5 +1,6 @@
 #include "core/operator.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -171,6 +172,14 @@ Operator::Operator(std::vector<ir::Eq> eqs, ir::CompileOptions opts,
     }
   }
 
+  if (opts_.tile.empty()) {
+    // Process-wide default (JITFD_TILE or Function::set_default_tile),
+    // mirroring the exchange-depth override: select tiling without
+    // touching user code. Infeasible entries are clamped and recorded by
+    // the lowering pass.
+    opts_.tile = grid::Function::default_tile();
+  }
+
   std::vector<ir::SparseOpDesc> descs;
   for (std::size_t i = 0; i < sparse_ops_.size(); ++i) {
     descs.push_back(ir::SparseOpDesc{static_cast<int>(i)});
@@ -219,6 +228,23 @@ std::string Operator::describe() const {
   } else if (!info_.exchange_depth_clamp_reason.empty()) {
     os << ", exchange depth 1 (clamped: "
        << info_.exchange_depth_clamp_reason << ")";
+  }
+  const bool tiled = std::any_of(info_.tile.begin(), info_.tile.end(),
+                                 [](std::int64_t t) { return t > 0; });
+  if (tiled || !info_.tile_clamp_reason.empty()) {
+    os << ", tile (";
+    for (std::size_t d = 0; d < info_.tile.size(); ++d) {
+      os << (d ? "," : "") << info_.tile[d];
+    }
+    os << ")";
+    if (!info_.tile_clamp_reason.empty()) {
+      os << " (clamped: " << info_.tile_clamp_reason << ")";
+    }
+  }
+  if (info_.time_tile) {
+    os << ", time-tiled";
+  } else if (!info_.time_tile_clamp_reason.empty()) {
+    os << ", time tiling off (" << info_.time_tile_clamp_reason << ")";
   }
   os << "\n  fields:";
   for (const grid::Function* f : fields_.all()) {

@@ -37,6 +37,29 @@ std::atomic<int>& exchange_depth_default() {
   return depth;
 }
 
+std::mutex& tile_default_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::vector<std::int64_t>& tile_default_storage() {
+  static std::vector<std::int64_t> tile = [] {
+    const char* env = std::getenv("JITFD_TILE");
+    return env != nullptr ? Function::parse_tile(env)
+                          : std::vector<std::int64_t>{};
+  }();
+  return tile;
+}
+
+std::atomic<int>& time_slack_default() {
+  static std::atomic<int> slack{[] {
+    const char* env = std::getenv("JITFD_TIME_SLACK");
+    const int v = env != nullptr ? std::atoi(env) : 0;
+    return v > 0 ? v : 0;
+  }()};
+  return slack;
+}
+
 // Reserved user-channel tag for Function::gather traffic, far above the
 // halo-exchange tag space. A single fixed tag suffices: gathers are
 // collective (all ranks call in the same program order) and the mailbox
@@ -121,6 +144,48 @@ void Function::set_default_exchange_depth(int depth) {
 int Function::default_exchange_depth() {
   return exchange_depth_default().load();
 }
+
+void Function::set_default_tile(std::vector<std::int64_t> tile) {
+  const std::lock_guard<std::mutex> lock(tile_default_mutex());
+  tile_default_storage() = std::move(tile);
+}
+
+std::vector<std::int64_t> Function::default_tile() {
+  const std::lock_guard<std::mutex> lock(tile_default_mutex());
+  return tile_default_storage();
+}
+
+std::vector<std::int64_t> Function::parse_tile(const std::string& text) {
+  std::vector<std::int64_t> tile;
+  if (text.empty()) {
+    return tile;
+  }
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t comma = text.find(',', pos);
+    const std::string tok =
+        comma == std::string::npos ? text.substr(pos)
+                                   : text.substr(pos, comma - pos);
+    // Lenient: strtoll yields 0 (untiled) for unparsable tokens; negative
+    // or oversized values are clamped (and recorded) at lowering time.
+    tile.push_back(std::strtoll(tok.c_str(), nullptr, 10));
+    if (comma == std::string::npos) {
+      break;
+    }
+    pos = comma + 1;
+  }
+  return tile;
+}
+
+void Function::set_default_time_slack(int slack) {
+  if (slack < 0) {
+    throw std::invalid_argument(
+        "Function::set_default_time_slack: slack must be >= 0");
+  }
+  time_slack_default().store(slack);
+}
+
+int Function::default_time_slack() { return time_slack_default().load(); }
 
 Function* lookup_field(int field_id) {
   const std::lock_guard<std::mutex> lock(registry_mutex());
@@ -395,10 +460,13 @@ TimeFunction::TimeFunction(std::string name, const Grid& grid, int space_order,
                            int time_order, int padding, int save)
     : Function(std::move(name), grid, space_order, padding,
                /*time_varying=*/true,
-               /*buffers=*/save > 0 ? save : time_order + 1,
+               /*buffers=*/save > 0
+                   ? save
+                   : time_order + 1 + Function::default_time_slack(),
                /*saved=*/save > 0),
       time_order_(time_order),
-      save_(save) {
+      save_(save),
+      slack_(save > 0 ? 0 : Function::default_time_slack()) {
   if (time_order < 1 || time_order > 2) {
     throw std::invalid_argument("TimeFunction: time_order must be 1 or 2");
   }

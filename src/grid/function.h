@@ -13,10 +13,12 @@
 // slices are converted to rank-local ones and applied only where owned.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <mutex>
+#include <new>
 #include <span>
 #include <string>
 #include <vector>
@@ -25,6 +27,31 @@
 #include "symbolic/expr.h"
 
 namespace jitfd::grid {
+
+/// 64-byte-aligned allocator for field storage. Generated kernels receive
+/// each field's storage start as its base pointer, so this is what makes
+/// the emitter's `aligned(field:64)` simd clauses provable.
+template <typename T>
+struct AlignedAlloc {
+  using value_type = T;
+  static constexpr std::size_t kAlignment = 64;
+
+  AlignedAlloc() = default;
+  template <typename U>
+  AlignedAlloc(const AlignedAlloc<U>&) {}  // NOLINT(google-explicit-constructor)
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{kAlignment}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{kAlignment});
+  }
+  template <typename U>
+  bool operator==(const AlignedAlloc<U>&) const {
+    return true;
+  }
+};
 
 /// A (possibly time-varying) discrete function over a Grid.
 class Function {
@@ -61,6 +88,27 @@ class Function {
   /// affects only Functions constructed afterwards.
   static void set_default_exchange_depth(int depth);
   static int default_exchange_depth();
+
+  /// Process-wide default per-dimension tile shape, used by Operator when
+  /// CompileOptions::tile is left empty. Initialized once from the
+  /// JITFD_TILE environment variable ("tz,ty,tx"; unset/empty = untiled);
+  /// the setter affects Operators constructed afterwards. Infeasible
+  /// entries are clamped (and recorded) at lowering time, not here.
+  static void set_default_tile(std::vector<std::int64_t> tile);
+  static std::vector<std::int64_t> default_tile();
+  /// Parse a JITFD_TILE-style comma-separated list ("16,8"). Lenient:
+  /// unparsable entries become 0 (untiled) — lowering records clamps.
+  static std::vector<std::int64_t> parse_tile(const std::string& text);
+
+  /// Extra time buffers allocated beyond time_order+1 for unsaved
+  /// TimeFunctions constructed afterwards. Time tiling
+  /// (CompileOptions::time_tile) needs a strip's whole absolute
+  /// time-index window held in distinct buffers; without enough slack the
+  /// request is clamped at lowering time with a recorded reason.
+  /// Initialized from the JITFD_TIME_SLACK environment variable.
+  static void set_default_time_slack(int slack);
+  static int default_time_slack();
+
   /// Number of time buffers (1 for plain Functions).
   virtual int time_buffers() const { return 1; }
 
@@ -94,8 +142,10 @@ class Function {
 
   /// The whole allocation (every buffer, ghosts included) — used for
   /// checkpoint/restore (e.g. the communication-pattern autotuner).
-  std::span<float> raw_storage() { return storage_; }
-  std::span<const float> raw_storage() const { return storage_; }
+  std::span<float> raw_storage() { return {storage_.data(), storage_.size()}; }
+  std::span<const float> raw_storage() const {
+    return {storage_.data(), storage_.size()};
+  }
 
   /// Element access with *data-region-relative* local indices
   /// (idx[d] == 0 is the first owned point; negative indices reach into
@@ -171,7 +221,7 @@ class Function {
   std::vector<std::int64_t> padded_shape_;
   std::vector<std::int64_t> strides_;
   std::int64_t buffer_points_ = 0;
-  std::vector<float> storage_;
+  std::vector<float, AlignedAlloc<float>> storage_;
 };
 
 /// A time-varying function with modulo-buffered time storage:
@@ -188,7 +238,7 @@ class TimeFunction : public Function {
 
   int time_order() const { return time_order_; }
   int time_buffers() const override {
-    return saved() ? save_ : time_order_ + 1;
+    return saved() ? save_ : time_order_ + 1 + slack_;
   }
   int save_steps() const { return save_; }
 
@@ -212,6 +262,8 @@ class TimeFunction : public Function {
  private:
   int time_order_;
   int save_ = 0;
+  /// Extra cycling buffers (default_time_slack at construction time).
+  int slack_ = 0;
 };
 
 /// The symbolic time-step size, shared by all TimeFunctions.

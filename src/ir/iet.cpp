@@ -27,12 +27,26 @@ NodePtr make_expression(sym::Ex target, sym::Ex value) {
 }
 
 NodePtr make_iteration(int dim, Bound lo, Bound hi, LoopProps props,
-                       std::vector<NodePtr> body) {
+                       std::vector<NodePtr> body, std::int64_t tile_expand) {
   Node n;
   n.type = NodeType::Iteration;
   n.dim = dim;
   n.lo = lo;
   n.hi = hi;
+  n.props = props;
+  n.tile_expand = tile_expand;
+  n.body = std::move(body);
+  return finish(std::move(n));
+}
+
+NodePtr make_block_loop(int dim, Bound lo, Bound hi, std::int64_t tile,
+                        LoopProps props, std::vector<NodePtr> body) {
+  Node n;
+  n.type = NodeType::BlockLoop;
+  n.dim = dim;
+  n.lo = lo;
+  n.hi = hi;
+  n.tile = tile;
   n.props = props;
   n.body = std::move(body);
   return finish(std::move(n));
@@ -155,10 +169,21 @@ void dump(std::ostringstream& os, const NodePtr& node, int indent) {
       if (n.props.vector) {
         os << ",vector-dim";
       }
-      if (n.props.block > 0) {
-        os << ",blocked:" << n.props.block;
-      }
       os << "] Iteration " << dim_name(n.dim) << " ["
+         << bound_str(n.lo, n.dim, false) << ", "
+         << bound_str(n.hi, n.dim, true) << ")";
+      if (n.tile_expand > 0) {
+        os << " expand " << n.tile_expand;
+      }
+      os << ">\n";
+      break;
+    }
+    case NodeType::BlockLoop: {
+      os << pad << "<[affine";
+      if (n.props.parallel) {
+        os << ",parallel";
+      }
+      os << "] BlockLoop " << dim_name(n.dim) << " tile=" << n.tile << " ["
          << bound_str(n.lo, n.dim, false) << ", "
          << bound_str(n.hi, n.dim, true) << ")>\n";
       break;

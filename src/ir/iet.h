@@ -57,6 +57,7 @@ enum class NodeType {
   Callable,    ///< Root: the generated kernel.
   Expression,  ///< Scalar-temp definition or field assignment.
   Iteration,   ///< A space loop.
+  BlockLoop,   ///< A cache-tile loop: walks dimension `dim` in `tile` steps.
   TimeLoop,    ///< The sequential time loop.
   HaloSpot,    ///< Placeholder for a required halo exchange (pre-lowering).
   HaloComm,    ///< Lowered communication call (update/start/wait).
@@ -72,7 +73,6 @@ using NodePtr = std::shared_ptr<const Node>;
 struct LoopProps {
   bool parallel = false;   ///< OpenMP-parallelizable.
   bool vector = false;     ///< Innermost, SIMD-friendly.
-  std::int64_t block = 0;  ///< Cache-block size (0 = unblocked).
 
   friend bool operator==(const LoopProps&, const LoopProps&) = default;
 };
@@ -105,11 +105,20 @@ struct Node {
   sym::Ex target;
   sym::Ex value;
 
-  // Iteration:
+  // Iteration / BlockLoop:
   int dim = -1;        ///< Space dimension index.
   Bound lo;            ///< Inclusive lower bound.
   Bound hi;            ///< Exclusive upper bound.
   LoopProps props;
+  // BlockLoop: tile extent along `dim` (always > 0). The loop walks
+  // [lo, hi) in `tile`-sized windows; enclosed Iterations over the same
+  // dimension are clipped to the active window.
+  std::int64_t tile = 0;
+  // Iteration (time-tiled sub-steps only): widen the intersection with
+  // the enclosing BlockLoop window by this many points on each side
+  // (never past the Iteration's own [lo, hi)). Gives each space tile the
+  // ghost-extended footprint sub-step j needs (trapezoidal time tiling).
+  std::int64_t tile_expand = 0;
 
   // HaloSpot / HaloComm:
   std::vector<HaloNeed> needs;
@@ -135,7 +144,12 @@ struct Node {
 NodePtr make_callable(std::string name, std::vector<NodePtr> body);
 NodePtr make_expression(sym::Ex target, sym::Ex value);
 NodePtr make_iteration(int dim, Bound lo, Bound hi, LoopProps props,
-                       std::vector<NodePtr> body);
+                       std::vector<NodePtr> body, std::int64_t tile_expand = 0);
+/// A cache-tile loop over dimension `dim`: walks [lo, hi) in `tile`-point
+/// windows; Iterations over `dim` inside `body` execute clipped to the
+/// active window (optionally widened by their own `tile_expand`).
+NodePtr make_block_loop(int dim, Bound lo, Bound hi, std::int64_t tile,
+                        LoopProps props, std::vector<NodePtr> body);
 NodePtr make_time_loop(std::vector<NodePtr> body);
 NodePtr make_time_loop(std::vector<NodePtr> body, std::int64_t stride);
 /// One sub-step of a communication-avoiding strip (Section "substep").

@@ -52,7 +52,22 @@ struct CompileOptions {
   Lang lang = Lang::OpenMP;
   bool flop_reduce = true;   ///< Factorization + invariants + CSE.
   bool halo_opt = true;      ///< HaloSpot drop/merge/hoist analysis.
-  std::int64_t block = 0;    ///< Cache-block size for outer loops (0 = off).
+  /// Per-dimension cache-tile sizes, outermost first ({tz, ty, tx} in 3D;
+  /// 0 = untiled along that dimension). Missing trailing entries mean
+  /// untiled; the innermost dimension is never tiled (it stays contiguous
+  /// for SIMD) — a nonzero innermost request is clamped and recorded in
+  /// LoweringInfo::tile_clamp_reason, as are tiles that cannot fit the
+  /// smallest rank-local extent (clamping must be rank-uniform or
+  /// collective trial grids would diverge across ranks).
+  std::vector<std::int64_t> tile;
+  /// Walk the exchange_depth sub-steps of a communication-avoiding strip
+  /// tile-by-tile (outermost dimension) instead of sub-step-by-sub-step,
+  /// so a tile's data stays cache-resident across the k sub-steps.
+  /// Requires exchange_depth > 1, an outermost tile, a non-Full pattern,
+  /// and enough time buffers to keep the in-flight time indices distinct
+  /// (see Function::set_default_time_slack); otherwise clamped with
+  /// LoweringInfo::time_tile_clamp_reason.
+  bool time_tile = false;
   bool openmp = true;        ///< Annotate parallel loops.
   /// Communication-avoiding exchange depth k: one halo exchange (of depth
   /// up to k stencil radii per dependent cluster) is amortized over k
@@ -100,6 +115,15 @@ struct LoweringInfo {
   /// not be honoured; exchange_depth_clamp_reason says why).
   int exchange_depth = 1;
   std::string exchange_depth_clamp_reason;
+  /// Effective per-dimension tile sizes after clamping (size ndims; all
+  /// zeros when untiled). tile_clamp_reason says why a requested tile was
+  /// dropped or shrunk.
+  std::vector<std::int64_t> tile;
+  std::string tile_clamp_reason;
+  /// Whether strips walk sub-steps tile-by-tile (time tiling); when the
+  /// request could not be honoured, time_tile_clamp_reason says why.
+  bool time_tile = false;
+  std::string time_tile_clamp_reason;
   /// The (field, time offset) pairs each step's HealthCheck reduces
   /// (empty when CompileOptions::health was off or nothing is written).
   std::vector<HaloNeed> health_checks;

@@ -167,9 +167,13 @@ Comparison compare_run(const MeasuredRun& measured, const ScalingModel& model,
   }
   c.predicted_bytes_per_step = bytes * exchanges_per_step;
 
+  // Evaluate the model with the run's tile shape so its cache-traffic
+  // term matches the compiled schedule (no-op when untiled).
+  ScalingModel tiled_model = model;
+  tiled_model.set_tile(measured.tile);
   const ScalingPoint pt =
-      model.strong(measured.ranks, measured.so, measured.mode, domain_edge,
-                   static_cast<int>(depth));
+      tiled_model.strong(measured.ranks, measured.so, measured.mode,
+                         domain_edge, static_cast<int>(depth));
   c.predicted_gpts = pt.gpts;
   c.predicted_step_seconds = pt.step_seconds;
   if (pt.step_seconds > 0.0) {
@@ -196,10 +200,26 @@ Comparison compare_run(const MeasuredRun& measured, const ScalingModel& model,
   return c;
 }
 
+namespace {
+
+std::string tile_str(const std::vector<std::int64_t>& tile) {
+  if (tile.empty()) {
+    return "-";
+  }
+  std::string s;
+  for (std::size_t d = 0; d < tile.size(); ++d) {
+    s += (d > 0 ? "x" : "") + std::to_string(tile[d]);
+  }
+  return s;
+}
+
+}  // namespace
+
 std::string comparison_table(const std::vector<Comparison>& rows) {
   std::ostringstream os;
   os << std::left << std::setw(10) << "pattern" << std::right << std::setw(4)
-     << "k" << std::setw(12) << "GPts/s" << std::setw(12) << "model"
+     << "k" << std::setw(10) << "tile" << std::setw(12) << "GPts/s"
+     << std::setw(12) << "model"
      << std::setw(11) << "comm%" << std::setw(11) << "model%" << std::setw(12)
      << "msgs" << std::setw(12) << "expected" << std::setw(14) << "MB/step"
      << std::setw(14) << "model MB" << std::setw(9) << "ovl%"
@@ -208,6 +228,7 @@ std::string comparison_table(const std::vector<Comparison>& rows) {
   for (const Comparison& c : rows) {
     os << std::left << std::setw(10) << ir::to_string(c.measured.mode)
        << std::right << std::setw(4) << c.measured.exchange_depth
+       << std::setw(10) << tile_str(c.measured.tile)
        << std::setprecision(4) << std::setw(12)
        << c.measured_gpts << std::setw(12) << c.predicted_gpts
        << std::setprecision(1) << std::setw(10)
@@ -238,6 +259,11 @@ std::string comparison_json(const std::vector<Comparison>& rows) {
        << "      \"so\": " << c.measured.so << ",\n"
        << "      \"steps\": " << c.measured.steps << ",\n"
        << "      \"exchange_depth\": " << c.measured.exchange_depth << ",\n"
+       << "      \"tile\": [";
+    for (std::size_t d = 0; d < c.measured.tile.size(); ++d) {
+      os << (d > 0 ? ", " : "") << c.measured.tile[d];
+    }
+    os << "],\n"
        << "      \"measured_gpts\": " << c.measured_gpts << ",\n"
        << "      \"predicted_gpts\": " << c.predicted_gpts << ",\n"
        << "      \"measured_comm_fraction\": " << c.measured.comm_fraction

@@ -41,6 +41,9 @@ struct MeasuredRun {
   /// Communication-avoiding exchange depth the run was compiled with
   /// (1 = one exchange round per step).
   int exchange_depth = 1;
+  /// Cache-tile shape the run was compiled with (CompileOptions::tile
+  /// layout; empty = untiled). Feeds the model's cache-traffic term.
+  std::vector<std::int64_t> tile;
   std::int64_t points_updated = 0;  ///< Global points x steps.
   double wall_seconds = 0.0;        ///< Slowest rank.
   double comm_fraction = 0.0;
@@ -114,7 +117,9 @@ struct Comparison {
 /// `measured.exchange_depth` > 1, one exchange round covers a strip of
 /// `depth` steps, so the structural expectation scales with
 /// ceil(steps / depth) strips rather than steps, and the model is
-/// evaluated with the matching communication-avoiding terms.
+/// evaluated with the matching communication-avoiding terms. When
+/// `measured.tile` is non-empty the model's cache-traffic term is
+/// evaluated with that tile shape (ScalingModel::set_tile).
 Comparison compare_run(const MeasuredRun& measured, const ScalingModel& model,
                        const std::vector<int>& topology,
                        const std::vector<std::int64_t>& global_shape,

@@ -56,6 +56,7 @@ class Interpreter {
 
   void execute(const ir::Node& node);
   void execute_loop(const ir::Node& node);
+  void execute_block_loop(const ir::Node& node);
   void run_statement(const ir::Node& stmt);
   void execute_statements(const std::vector<ir::NodePtr>& body);
 
@@ -77,6 +78,10 @@ class Interpreter {
   std::map<std::string, int> temp_slots_;
   std::int64_t time_ = 0;
   std::vector<std::int64_t> idx_;  ///< Current space iteration point.
+  /// Active tile windows: dim -> [start, start + tile). Iterations over a
+  /// windowed dimension execute the intersection of their own bounds with
+  /// the window (widened by their tile_expand for time-tiled sub-steps).
+  std::map<int, std::pair<std::int64_t, std::int64_t>> block_win_;
 
   // Per-expression compiled programs, cached by Node pointer.
   std::map<const ir::Node*, std::shared_ptr<Compiled>> programs_;

@@ -82,21 +82,25 @@ TEST(Autotune, TrialsExchangeDepthsJointlyWithPatterns) {
     AutotuneReport report;
     auto op = autotune_operator({diffusion_eq(u)}, {}, {{"dt", 1e-3}}, 0, 2,
                                 &report);
-    // Per-pattern summary stays 3 rows (best over depths)...
+    // Per-pattern summary stays 3 rows (best over depths and tiles)...
     ASSERT_EQ(report.seconds.size(), 3U);
-    // ...and the full grid ran 9 trials: no depth was clamped here.
-    EXPECT_EQ(report.seconds_by_depth.size(), 9U);
+    // ...and the full grid ran 18 trials: {basic, diagonal, full} x
+    // {1, 2, 4} x {untiled, {4, 0}} — nothing clamped here (the 16x16
+    // grid over a 2x2 topology admits a 4-row outer tile).
+    EXPECT_EQ(report.seconds_by_depth.size(), 18U);
+    EXPECT_TRUE(report.skipped.empty());
     for (const auto& [key, secs] : report.seconds_by_depth) {
       EXPECT_GT(secs, 0.0);
-      EXPECT_LE(report.seconds.at(key.first), secs);
+      EXPECT_LE(report.seconds.at(std::get<0>(key)), secs);
     }
     EXPECT_TRUE(report.best_depth == 1 || report.best_depth == 2 ||
                 report.best_depth == 4);
     EXPECT_EQ(op->options().exchange_depth, report.best_depth);
     EXPECT_EQ(op->options().mode, report.best);
-    EXPECT_EQ(
-        report.seconds_by_depth.at({report.best, report.best_depth}),
-        report.seconds.at(report.best));
+    EXPECT_EQ(op->options().tile, report.best_tile);
+    EXPECT_EQ(report.seconds_by_depth.at(
+                  {report.best, report.best_depth, report.best_tile}),
+              report.seconds.at(report.best));
     // Every rank agrees on the winning depth.
     std::vector<std::int64_t> depth{report.best_depth};
     std::vector<std::int64_t> depth_max = depth;
@@ -109,16 +113,22 @@ TEST(Autotune, TrialsExchangeDepthsJointlyWithPatterns) {
 TEST(Autotune, ClampedDepthsAreSkippedNotDuplicated) {
   // Default halo capacity (depth 1 allocation, space order 2) admits
   // depth 2 but not depth 4: the depth-4 trials must be skipped as
-  // duplicates, leaving a 3x2 grid.
+  // duplicates — with a recorded reason — leaving a 3x2x2 grid.
   smpi::run(4, [](smpi::Communicator& comm) {
     const Grid g({16, 16}, {1.0, 1.0}, comm);
     TimeFunction u("u", g, 2, 1);
     AutotuneReport report;
     auto op = autotune_operator({diffusion_eq(u)}, {}, {{"dt", 1e-3}}, 0, 2,
                                 &report);
-    EXPECT_EQ(report.seconds_by_depth.size(), 6U);
+    EXPECT_EQ(report.seconds_by_depth.size(), 12U);
     for (const auto& [key, secs] : report.seconds_by_depth) {
-      EXPECT_NE(key.second, 4) << "clamped depth was trialled";
+      EXPECT_NE(std::get<1>(key), 4) << "clamped depth was trialled";
+    }
+    // The depth-4 requests surface in `skipped` with the clamp reason.
+    EXPECT_EQ(report.skipped.size(), 6U);
+    for (const auto& [key, reason] : report.skipped) {
+      EXPECT_EQ(std::get<1>(key), 4);
+      EXPECT_FALSE(reason.empty());
     }
     EXPECT_NE(report.best_depth, 4);
     (void)op;

@@ -85,7 +85,7 @@ TEST(Codegen, FullModeEmitsStartCoreWaitRemainderAndProgress) {
     TimeFunction u("u", g, 2, 1);
     ir::CompileOptions opts;
     opts.mode = ir::MpiMode::Full;
-    opts.block = 8;
+    opts.tile = {8, 0};
     Operator op = diffusion_operator(g, u, opts);
     const std::string& code = op.ccode();
     const auto start = code.find("ops->start(hctx, 0, time);");
@@ -198,15 +198,18 @@ TEST(Codegen, OpenAccVariantUsesAccPragmas) {
   EXPECT_EQ(code.find("#pragma omp"), std::string::npos);
 }
 
-TEST(Codegen, BlockedLoopsEmitTiles) {
+TEST(Codegen, TiledLoopsEmitBlockLoopAndWindowIntersection) {
   const Grid g({32, 32}, {1.0, 1.0});
   TimeFunction u("u", g, 2, 1);
   ir::CompileOptions opts;
-  opts.block = 8;
+  opts.tile = {8, 0};
   Operator op = diffusion_operator(g, u, opts);
   const std::string& code = op.ccode();
   EXPECT_NE(code.find("for (long xb = 0; xb < 32; xb += 8)"),
             std::string::npos)
+      << code;
+  // The enclosed x loop runs the intersection with the active window.
+  EXPECT_NE(code.find("xb + 8 < 32 ? xb + 8 : 32"), std::string::npos)
       << code;
 }
 
@@ -306,28 +309,30 @@ TEST(Codegen, EnvVarSelectsPattern) {
   EXPECT_THROW(ir::mode_from_string("bogus"), std::invalid_argument);
 }
 
-TEST(CodegenJit, BlockedKernelMatchesUnblocked) {
+TEST(CodegenJit, TiledKernelMatchesUntiled) {
   if (!have_cc()) {
     GTEST_SKIP() << "no C compiler available";
   }
-  const std::int64_t n = 21;  // Not a multiple of the block size.
+  const std::int64_t n = 21;  // Not a multiple of the tile size.
   const double dt = 1e-3;
-  auto run = [&](std::int64_t block) {
+  auto run = [&](std::int64_t tile) {
     const Grid g({n, n}, {1.0, 1.0});
     TimeFunction u("u", g, 2, 1);
     u.fill_global_box(0, std::vector<std::int64_t>{3, 5},
                       std::vector<std::int64_t>{15, 17}, 1.0F);
     ir::CompileOptions opts;
-    opts.block = block;
+    if (tile > 0) {
+      opts.tile = {tile, 0};
+    }
     Operator op = diffusion_operator(g, u, opts);
     op.set_default_backend(Operator::Backend::Jit);
     op.apply({.time_m = 0, .time_M = 3, .scalars = {{"dt", dt}}});
     return u.gather(4 % 2);
   };
   const auto plain = run(0);
-  const auto blocked = run(8);
+  const auto tiled = run(8);
   for (std::size_t i = 0; i < plain.size(); ++i) {
-    ASSERT_EQ(plain[i], blocked[i]) << "at " << i;
+    ASSERT_EQ(plain[i], tiled[i]) << "at " << i;
   }
 }
 

@@ -68,13 +68,19 @@ TEST(Iet, ConstructorsSetFields) {
 
   LoopProps props;
   props.parallel = true;
-  props.block = 8;
   const auto loop = make_iteration(0, Bound::absolute(0), Bound::from_size(0),
                                    props, {expr});
   EXPECT_EQ(loop->type, NodeType::Iteration);
   EXPECT_EQ(loop->dim, 0);
   EXPECT_TRUE(loop->props.parallel);
   EXPECT_EQ(loop->body.size(), 1U);
+
+  const auto block =
+      make_block_loop(0, Bound::absolute(0), Bound::from_size(0), 8,
+                      LoopProps{}, {loop});
+  EXPECT_EQ(block->type, NodeType::BlockLoop);
+  EXPECT_EQ(block->tile, 8);
+  EXPECT_NE(to_debug_string(block).find("BlockLoop"), std::string::npos);
 
   const auto spot = make_halo_spot({HaloNeed{7, 1, {2, 2}}});
   EXPECT_EQ(spot->needs.size(), 1U);

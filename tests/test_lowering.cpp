@@ -370,23 +370,42 @@ TEST(Lowering, FlopReductionLowersOperationCount) {
   EXPECT_LT(flops_of(true), flops_of(false));
 }
 
-TEST(Lowering, BlockingAnnotatesOuterLoops) {
+TEST(Lowering, TilingWrapsOuterLoopInBlockLoop) {
   const Grid g({32, 32}, {1.0, 1.0});
   const TimeFunction u("u", g, 2, 1);
   ir::LoweringInfo info;
   ir::CompileOptions opts;
-  opts.block = 8;
+  opts.tile = {8, 0};
   const auto iet = ir::lower_to_iet({diffusion_eq(u)}, g, opts, {}, info);
-  bool outer_blocked = false;
-  bool inner_unblocked = true;
+  EXPECT_EQ(info.tile, (std::vector<std::int64_t>{8, 0}));
+  EXPECT_TRUE(info.tile_clamp_reason.empty()) << info.tile_clamp_reason;
+  bool outer_tiled = false;
+  bool inner_untiled = true;
   const std::function<void(const ir::NodePtr&)> visit =
       [&](const ir::NodePtr& n) {
-        if (n->type == ir::NodeType::Iteration) {
-          if (n->dim == 0 && n->props.block == 8) {
-            outer_blocked = true;
+        if (n->type == ir::NodeType::BlockLoop) {
+          if (n->dim == 0 && n->tile == 8) {
+            outer_tiled = true;
+            // The tile loop owns the parallel annotation; its enclosed
+            // Iteration over the same dim must exist (window execution).
+            EXPECT_TRUE(n->props.parallel);
+            bool has_dim0_iter = false;
+            const std::function<void(const ir::NodePtr&)> scan =
+                [&](const ir::NodePtr& c) {
+                  if (c->type == ir::NodeType::Iteration && c->dim == 0) {
+                    has_dim0_iter = true;
+                  }
+                  for (const auto& cc : c->body) {
+                    scan(cc);
+                  }
+                };
+            for (const auto& c : n->body) {
+              scan(c);
+            }
+            EXPECT_TRUE(has_dim0_iter);
           }
-          if (n->dim == 1 && n->props.block != 0) {
-            inner_unblocked = false;
+          if (n->dim == 1) {
+            inner_untiled = false;
           }
         }
         for (const auto& c : n->body) {
@@ -394,8 +413,21 @@ TEST(Lowering, BlockingAnnotatesOuterLoops) {
         }
       };
   visit(iet);
-  EXPECT_TRUE(outer_blocked);
-  EXPECT_TRUE(inner_unblocked);
+  EXPECT_TRUE(outer_tiled);
+  EXPECT_TRUE(inner_untiled);
+}
+
+TEST(Lowering, TileClampsInnermostAndOversized) {
+  const Grid g({32, 16}, {1.0, 1.0});
+  const TimeFunction u("u", g, 2, 1);
+  ir::LoweringInfo info;
+  ir::CompileOptions opts;
+  // Innermost stays contiguous for SIMD; 64 >= the dim-0 extent.
+  opts.tile = {64, 4};
+  const auto iet = ir::lower_to_iet({diffusion_eq(u)}, g, opts, {}, info);
+  (void)iet;
+  EXPECT_EQ(info.tile, (std::vector<std::int64_t>{0, 0}));
+  EXPECT_FALSE(info.tile_clamp_reason.empty());
 }
 
 TEST(Lowering, RejectsReservedSymbolNamesAndDuplicateFieldNames) {

@@ -235,15 +235,17 @@ TEST(Operator, FlopReduceAndBlockingPreserveResults) {
   const auto reference = run_diffusion(g, {}, 4, dt);
 
   for (const bool reduce : {false, true}) {
-    for (const std::int64_t block : {std::int64_t{0}, std::int64_t{5}}) {
+    for (const std::int64_t tile : {std::int64_t{0}, std::int64_t{5}}) {
       const Grid g2({n, n}, {1.0, 1.0});
       ir::CompileOptions opts;
       opts.flop_reduce = reduce;
-      opts.block = block;
+      if (tile > 0) {
+        opts.tile = {tile, 0};
+      }
       const auto got = run_diffusion(g2, opts, 4, dt);
       for (std::size_t i = 0; i < got.size(); ++i) {
         ASSERT_NEAR(got[i], reference[i], 1e-5)
-            << "reduce=" << reduce << " block=" << block << " at " << i;
+            << "reduce=" << reduce << " tile=" << tile << " at " << i;
       }
     }
   }
