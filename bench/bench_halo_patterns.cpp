@@ -9,11 +9,16 @@
 // deep-halo stepping: pattern x exchange-depth wall times on a small,
 // latency-bound grid, emitted through the shared JSON reporter
 // (bench/BENCH_comm_avoid.json is a committed run of it).
+//
+// --transport=threads|process_shm selects the rank realization for every
+// benchmark in this binary (default: threads, or JITFD_TRANSPORT).
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <optional>
 
 #include "bench_util.h"
 #include "core/operator.h"
@@ -32,11 +37,15 @@ namespace sym = jitfd::sym;
 constexpr std::int64_t kEdge = 96;
 constexpr int kStepsPerIteration = 20;
 
+// Set once in main() from --transport=; unset follows JITFD_TRANSPORT.
+std::optional<smpi::TransportKind> g_transport;
+
 void run_steps(benchmark::State& state, ir::MpiMode mode, int nranks,
                int space_order, bool halo_opt) {
   std::int64_t steps_done = 0;
   for (auto _ : state) {
-    smpi::run(nranks, [&](smpi::Communicator& comm) {
+    smpi::launch({.nranks = nranks, .transport = g_transport},
+                 [&](smpi::Communicator& comm) {
       const Grid g({kEdge, kEdge}, {1.0, 1.0}, comm);
       TimeFunction u("u", g, space_order, 1);
       u.fill_global_box(0, std::vector<std::int64_t>{kEdge / 4, kEdge / 4},
@@ -67,7 +76,7 @@ void run_steps(benchmark::State& state, ir::MpiMode mode, int nranks,
         state.counters["pool_misses"] =
             static_cast<double>(stats.pool_misses);
       }
-    });
+                 });
     steps_done += kStepsPerIteration;
   }
   state.SetItemsProcessed(steps_done * kEdge * kEdge);
@@ -128,7 +137,8 @@ int run_comm_avoid(int argc, char** argv) {
       // payload-pool fills), then `reps` timed repetitions.
       for (int rep = -1; rep < reps; ++rep) {
         double seconds = 0.0;
-        smpi::run(nranks, [&](smpi::Communicator& comm) {
+        smpi::launch({.nranks = nranks, .transport = g_transport},
+                     [&](smpi::Communicator& comm) {
           const Grid g({edge, edge}, {1.0, 1.0}, comm);
           TimeFunction u("u", g, so, 1);
           u.fill_global_box(0, std::vector<std::int64_t>{edge / 4, edge / 4},
@@ -161,7 +171,7 @@ int run_comm_avoid(int argc, char** argv) {
             series.counters["steps_covered"] =
                 static_cast<double>(run.halo.steps_covered);
           }
-        });
+                     });
         if (rep >= 0) {
           series.seconds.push_back(seconds);
         }
@@ -199,6 +209,21 @@ BENCHMARK(BM_HaloFull)->Args({4, 4})->Args({4, 8})->Args({8, 8});
 BENCHMARK(BM_HaloBasicNoOpt)->Args({4, 8});
 
 int main(int argc, char** argv) {
+  // Consume --transport= before google-benchmark sees (and rejects) it.
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--transport=", 12) == 0) {
+      try {
+        g_transport = smpi::transport_from_string(argv[i] + 12);
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+      }
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
   if (benchutil::has_flag(argc, argv, "comm-avoid")) {
     return run_comm_avoid(argc, argv);
   }

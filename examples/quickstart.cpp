@@ -3,12 +3,19 @@
 // A heat-diffusion operator on a 4x4 grid: define the grid and a
 // time-varying function, write the PDE symbolically, solve for the
 // update, build the Operator, and apply it. Run with an argument to see
-// the same program executed on that many (thread-backed) MPI ranks with
-// the distributed NumPy-style data access of Listings 2-3 — the source
-// below does not change.
+// the same program executed on that many MPI ranks (threads by default,
+// forked processes with --transport=process_shm) with the distributed
+// NumPy-style data access of Listings 2-3 — the source below does not
+// change.
 //
 //   ./quickstart                        # serial
 //   ./quickstart 4                      # 4 ranks, basic halo pattern
+//   ./quickstart 4 --transport=process_shm
+//                                       # ranks as forked processes over
+//                                       # shared-memory rings (default:
+//                                       # threads, or JITFD_TRANSPORT)
+//   ./quickstart --env                  # list every JITFD_* variable
+//                                       # with type, default, live value
 //   ./quickstart 4 --trace=trace.json   # + per-rank trace: summary on
 //                                       # stdout, Chrome JSON to the file
 //                                       # (open in chrome://tracing or
@@ -30,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "core/env.h"
 #include "core/operator.h"
 #include "grid/function.h"
 #include "obs/analysis.h"
@@ -115,6 +123,7 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string analysis_path;
   std::string metrics_path;
+  smpi::LaunchOptions launch_opts;
   HealthArgs health;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--trace=", 8) == 0) {
@@ -123,6 +132,16 @@ int main(int argc, char** argv) {
       analysis_path = argv[i] + 11;
     } else if (std::strncmp(argv[i], "--metrics=", 10) == 0) {
       metrics_path = argv[i] + 10;
+    } else if (std::strcmp(argv[i], "--env") == 0) {
+      std::printf("%s", jitfd::env::describe().c_str());
+      return 0;
+    } else if (std::strncmp(argv[i], "--transport=", 12) == 0) {
+      try {
+        launch_opts.transport = smpi::transport_from_string(argv[i] + 12);
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--health") == 0) {
       health.interval = 1;
     } else if (std::strncmp(argv[i], "--health=", 9) == 0) {
@@ -144,8 +163,13 @@ int main(int argc, char** argv) {
   jitfd::core::RunSummary run;
   try {
     if (nranks > 1) {
-      std::printf("running on %d thread-backed MPI ranks\n", nranks);
-      smpi::run(nranks, [&](smpi::Communicator& comm) {
+      launch_opts.nranks = nranks;
+      const smpi::TransportKind kind = launch_opts.transport.has_value()
+                                           ? *launch_opts.transport
+                                           : smpi::default_transport();
+      std::printf("running on %d MPI ranks (%s transport)\n", nranks,
+                  smpi::to_string(kind));
+      smpi::launch(launch_opts, [&](smpi::Communicator& comm) {
         const Grid grid({4, 4}, {2.0, 2.0}, comm);
         const auto r = simulate(grid, comm.rank(), trace, health);
         if (comm.rank() == 0) {
@@ -176,8 +200,8 @@ int main(int argc, char** argv) {
               static_cast<long long>(run.points_updated),
               1e3 * run.seconds, jitfd::core::to_string(run.backend),
               static_cast<unsigned long long>(run.halo.messages));
-  // Every rank has finished (smpi::run joined), so the trace snapshot is
-  // complete here.
+  // Every rank has finished (smpi::launch returned; child traces are
+  // merged under process_shm), so the trace snapshot is complete here.
   if (run.trace.active()) {
     std::printf("\n%s", run.trace.summary().c_str());
     if (run.trace.write_chrome(trace_path)) {

@@ -17,6 +17,7 @@
 
 #include "codegen/emit.h"
 #include "codegen/sha256.h"
+#include "core/env.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -34,7 +35,7 @@ std::atomic<std::uint64_t> g_cache_misses{0};
 struct ScratchDir {
   fs::path path;
   ~ScratchDir() {
-    if (!path.empty() && std::getenv("JITFD_KEEP") == nullptr) {
+    if (!path.empty() && !jitfd::env::is_set("JITFD_KEEP")) {
       std::error_code ec;
       fs::remove_all(path, ec);  // Best effort; never throw in a dtor.
     }
@@ -44,8 +45,10 @@ struct ScratchDir {
 const fs::path& cache_dir() {
   static ScratchDir scratch;
   static const fs::path dir = [] {
-    if (const char* env = std::getenv("JITFD_CACHE_DIR")) {
-      fs::path d(env);
+    const std::string persistent =
+        jitfd::env::get_string("JITFD_CACHE_DIR", "");
+    if (!persistent.empty()) {
+      fs::path d(persistent);
       fs::create_directories(d);
       return d;
     }
@@ -159,8 +162,7 @@ void compile(const std::string& source, const std::string& compiler,
 JitKernel::JitKernel(const std::string& source, bool openmp) {
   jitfd::obs::Span build_span("jit.build", jitfd::obs::Cat::Jit,
                               static_cast<std::int64_t>(source.size()));
-  const char* cc = std::getenv("JITFD_CC");
-  const std::string compiler = cc != nullptr ? cc : "cc";
+  const std::string compiler = jitfd::env::get_string("JITFD_CC", "cc");
   std::string flags = "-O3 -march=native -shared -fPIC";
   if (openmp) {
     flags += " -fopenmp";

@@ -11,6 +11,7 @@
 #include <stdexcept>
 
 #include "codegen/emit.h"
+#include "core/env.h"
 #include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -164,9 +165,12 @@ Operator::Operator(std::vector<ir::Eq> eqs, ir::CompileOptions opts,
     // JITFD_MPI selects the pattern without touching user code; Basic is
     // the default, as running distributed without exchanges would
     // silently compute garbage.
-    const char* env = std::getenv("JITFD_MPI");
-    opts_.mode = env != nullptr ? ir::mode_from_string(env)
-                                : ir::MpiMode::Basic;
+    // Strict: an unrecognized value is a hard error listing the accepted
+    // spellings, never a silent fall-through to the default pattern.
+    const std::string mode = env::get_enum(
+        "JITFD_MPI", "basic",
+        {"none", "0", "", "basic", "1", "diagonal", "diag", "diag2", "full"});
+    opts_.mode = mode.empty() ? ir::MpiMode::None : ir::mode_from_string(mode);
     if (opts_.mode == ir::MpiMode::None) {
       opts_.mode = ir::MpiMode::Basic;
     }
@@ -356,15 +360,18 @@ RunSummary Operator::apply(const ApplyArgs& args) {
     mopts.field_name = [this](int id) { return fields_.at(id).name(); };
     monitor = std::make_unique<obs::health::Monitor>(mopts);
     sink = monitor.get();
-    if (const char* inj = std::getenv("JITFD_INJECT_NAN")) {
+    const std::string inj = env::get_string("JITFD_INJECT_NAN", "");
+    if (!inj.empty()) {
       int inj_rank = -1;
       long inj_step = -1;
-      if (std::sscanf(inj, "%d:%ld", &inj_rank, &inj_step) == 2) {
-        inject = std::make_unique<InjectNanSink>(
-            monitor.get(), &fields_.at(info_.health_checks.front().field_id),
-            rank, inj_rank, inj_step);
-        sink = inject.get();
+      if (std::sscanf(inj.c_str(), "%d:%ld", &inj_rank, &inj_step) != 2) {
+        throw std::invalid_argument("JITFD_INJECT_NAN='" + inj +
+                                    "': expected \"rank:step\"");
       }
+      inject = std::make_unique<InjectNanSink>(
+          monitor.get(), &fields_.at(info_.health_checks.front().field_id),
+          rank, inj_rank, inj_step);
+      sink = inject.get();
     }
     // Run configuration for a potential post-mortem bundle.
     {

@@ -7,6 +7,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "core/env.h"
 #include "symbolic/fd_ops.h"
 
 namespace jitfd::grid {
@@ -30,8 +31,7 @@ std::map<int, Function*>& registry() {
 
 std::atomic<int>& exchange_depth_default() {
   static std::atomic<int> depth{[] {
-    const char* env = std::getenv("JITFD_EXCHANGE_DEPTH");
-    const int v = env != nullptr ? std::atoi(env) : 1;
+    const int v = static_cast<int>(env::get_int("JITFD_EXCHANGE_DEPTH", 1));
     return v > 1 ? v : 1;
   }()};
   return depth;
@@ -43,18 +43,13 @@ std::mutex& tile_default_mutex() {
 }
 
 std::vector<std::int64_t>& tile_default_storage() {
-  static std::vector<std::int64_t> tile = [] {
-    const char* env = std::getenv("JITFD_TILE");
-    return env != nullptr ? Function::parse_tile(env)
-                          : std::vector<std::int64_t>{};
-  }();
+  static std::vector<std::int64_t> tile = env::get_int_list("JITFD_TILE");
   return tile;
 }
 
 std::atomic<int>& time_slack_default() {
   static std::atomic<int> slack{[] {
-    const char* env = std::getenv("JITFD_TIME_SLACK");
-    const int v = env != nullptr ? std::atoi(env) : 0;
+    const int v = static_cast<int>(env::get_int("JITFD_TIME_SLACK", 0));
     return v > 0 ? v : 0;
   }()};
   return slack;
@@ -156,25 +151,11 @@ std::vector<std::int64_t> Function::default_tile() {
 }
 
 std::vector<std::int64_t> Function::parse_tile(const std::string& text) {
-  std::vector<std::int64_t> tile;
-  if (text.empty()) {
-    return tile;
-  }
-  std::size_t pos = 0;
-  while (pos <= text.size()) {
-    const std::size_t comma = text.find(',', pos);
-    const std::string tok =
-        comma == std::string::npos ? text.substr(pos)
-                                   : text.substr(pos, comma - pos);
-    // Lenient: strtoll yields 0 (untiled) for unparsable tokens; negative
-    // or oversized values are clamped (and recorded) at lowering time.
-    tile.push_back(std::strtoll(tok.c_str(), nullptr, 10));
-    if (comma == std::string::npos) {
-      break;
-    }
-    pos = comma + 1;
-  }
-  return tile;
+  // Strict shared grammar with JITFD_TILE (env::get_int_list): elided
+  // entries ("8,,2") stay untiled, non-numeric tokens are a hard error.
+  // Negative or oversized values are still clamped (and recorded) at
+  // lowering time.
+  return env::parse_int_list("tile", text);
 }
 
 void Function::set_default_time_slack(int slack) {

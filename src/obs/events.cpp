@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <mutex>
 #include <sstream>
+#include <stdexcept>
 
+#include "core/env.h"
 #include "obs/trace.h"
 
 namespace jitfd::obs::events {
@@ -76,18 +79,21 @@ ThreadRing* attach_thread() {
   return t_ring;
 }
 
-/// Reads JITFD_EVENTS / JITFD_EVENTS_RING before main.
+/// Reads JITFD_EVENTS / JITFD_EVENTS_RING before main. Strict-parse
+/// failures cannot propagate out of a static initializer, so they are
+/// reported and fatal here.
 const bool g_env_init = [] {
-  if (const char* ring = std::getenv("JITFD_EVENTS_RING")) {
-    const long n = std::atol(ring);
-    if (n > 0) {
-      set_ring_capacity(static_cast<std::size_t>(n));
+  try {
+    const std::int64_t ring = jitfd::env::get_int("JITFD_EVENTS_RING", 0);
+    if (ring > 0) {
+      set_ring_capacity(static_cast<std::size_t>(ring));
     }
-  }
-  if (const char* on = std::getenv("JITFD_EVENTS")) {
-    if (on[0] != '\0' && on[0] != '0') {
+    if (jitfd::env::get_bool("JITFD_EVENTS", false)) {
       set_enabled(true);
     }
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "jitfd: %s\n", ex.what());
+    std::exit(2);
   }
   return true;
 }();

@@ -13,6 +13,7 @@
 #include <sstream>
 #include <vector>
 
+#include "core/env.h"
 #include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -239,10 +240,9 @@ void note_step(int rank, std::int64_t step) {
 std::string dump(const std::string& reason, int rank, std::int64_t step,
                  const std::string& detail) {
   State& s = state();
-  const char* dir = std::getenv("JITFD_FLIGHT_DIR");
-  std::string path = (dir != nullptr && dir[0] != '\0')
-                         ? std::string(dir) + "/jitfd_flight.json"
-                         : std::string("jitfd_flight.json");
+  const std::string dir = jitfd::env::get_string("JITFD_FLIGHT_DIR", "");
+  std::string path = !dir.empty() ? dir + "/jitfd_flight.json"
+                                  : std::string("jitfd_flight.json");
   bool expected = false;
   if (!g_dumped.compare_exchange_strong(expected, true,
                                         std::memory_order_acq_rel)) {

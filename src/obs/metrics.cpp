@@ -8,6 +8,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/env.h"
+
 namespace jitfd::obs::metrics {
 
 #ifndef JITFD_OBS_DISABLED
@@ -15,8 +17,7 @@ namespace detail {
 
 namespace {
 std::uint32_t init_from_env() {
-  const char* v = std::getenv("JITFD_METRICS");
-  return (v != nullptr && v[0] != '\0' && v[0] != '0') ? 1u : 0u;
+  return jitfd::env::get_bool("JITFD_METRICS", false) ? 1u : 0u;
 }
 }  // namespace
 

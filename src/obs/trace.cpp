@@ -2,9 +2,15 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <iterator>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
+
+#include "core/env.h"
 
 namespace jitfd::obs {
 
@@ -46,6 +52,10 @@ struct ThreadBuffer {
 struct Registry {
   std::mutex mtx;
   std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+  // Records merged from other rank processes (import_file), already
+  // realigned onto this process's epoch.
+  std::vector<TraceData::Rec> imported;
+  std::uint64_t imported_dropped = 0;
 };
 
 Registry& registry() {
@@ -74,18 +84,21 @@ void push(const Event& e) {
   b->head.store(h + 1, std::memory_order_release);
 }
 
-/// Reads JITFD_TRACE / JITFD_TRACE_RING before main.
+/// Reads JITFD_TRACE / JITFD_TRACE_RING before main. Strict-parse
+/// failures cannot propagate out of a static initializer, so they are
+/// reported and fatal here.
 const bool g_env_init = [] {
-  if (const char* ring = std::getenv("JITFD_TRACE_RING")) {
-    const long n = std::atol(ring);
-    if (n > 0) {
-      set_ring_capacity(static_cast<std::size_t>(n));
+  try {
+    const std::int64_t ring = jitfd::env::get_int("JITFD_TRACE_RING", 0);
+    if (ring > 0) {
+      set_ring_capacity(static_cast<std::size_t>(ring));
     }
-  }
-  if (const char* on = std::getenv("JITFD_TRACE")) {
-    if (on[0] != '\0' && on[0] != '0') {
+    if (jitfd::env::get_bool("JITFD_TRACE", false)) {
       set_enabled(true);
     }
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "jitfd: %s\n", ex.what());
+    std::exit(2);
   }
   return true;
 }();
@@ -122,12 +135,30 @@ const char* to_string(Cat cat) {
   return "?";
 }
 
+namespace {
+
+// The per-process epoch lives on the system-wide CLOCK_MONOTONIC
+// timeline (std::chrono::steady_clock on Linux), which is what makes
+// cross-process trace merging exact.
+const std::chrono::steady_clock::time_point& epoch_tp() {
+  static const std::chrono::steady_clock::time_point e =
+      std::chrono::steady_clock::now();
+  return e;
+}
+
+}  // namespace
+
 std::uint64_t now_ns() {
-  using clock = std::chrono::steady_clock;
-  static const clock::time_point epoch = clock::now();
   return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
-                                                           epoch)
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_tp())
+          .count());
+}
+
+std::uint64_t epoch_monotonic_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          epoch_tp().time_since_epoch())
           .count());
 }
 
@@ -223,6 +254,9 @@ TraceData collect() {
       out.events.push_back(std::move(rec));
     }
   }
+  out.events.insert(out.events.end(), reg.imported.begin(),
+                    reg.imported.end());
+  out.dropped += reg.imported_dropped;
   std::stable_sort(out.events.begin(), out.events.end(),
                    [](const TraceData::Rec& a, const TraceData::Rec& b) {
                      return a.rank != b.rank ? a.rank < b.rank
@@ -237,6 +271,109 @@ void reset() {
   for (const auto& buf : reg.buffers) {
     buf->head.store(0, std::memory_order_release);
   }
+  reg.imported.clear();
+  reg.imported_dropped = 0;
+}
+
+namespace {
+
+// Binary trace-file framing (host-endian; the files only ever travel
+// between rank processes of one launch on one machine).
+constexpr std::uint64_t kTraceMagic = 0x4a46445452433031ULL;  // "JFDTRC01"
+
+template <typename T>
+void put(std::ofstream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <typename T>
+bool get(std::ifstream& is, T& v) {
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return static_cast<bool>(is);
+}
+
+}  // namespace
+
+void save_file(const std::string& path) {
+  const TraceData data = collect();
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) {
+    throw std::runtime_error("obs::save_file: cannot write " + path);
+  }
+  put(os, kTraceMagic);
+  put(os, epoch_monotonic_ns());
+  put(os, data.dropped);
+  put(os, static_cast<std::uint64_t>(data.events.size()));
+  for (const TraceData::Rec& r : data.events) {
+    put(os, static_cast<std::uint32_t>(r.name.size()));
+    os.write(r.name.data(), static_cast<std::streamsize>(r.name.size()));
+    put(os, static_cast<std::uint8_t>(r.cat));
+    put(os, static_cast<std::int32_t>(r.rank));
+    put(os, r.t0_ns);
+    put(os, r.t1_ns);
+    put(os, r.a0);
+    put(os, r.a1);
+    put(os, r.depth);
+  }
+  if (!os) {
+    throw std::runtime_error("obs::save_file: short write to " + path);
+  }
+}
+
+bool import_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    return false;
+  }
+  std::uint64_t magic = 0;
+  std::uint64_t their_epoch = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t count = 0;
+  if (!get(is, magic) || magic != kTraceMagic || !get(is, their_epoch) ||
+      !get(is, dropped) || !get(is, count)) {
+    return false;
+  }
+  // Realign: their t=0 is their epoch; shift every timestamp by the
+  // epoch difference on the shared monotonic timeline. Events predating
+  // our epoch clamp to 0 (can only happen when our epoch was pinned
+  // later than theirs).
+  const std::int64_t delta = static_cast<std::int64_t>(their_epoch) -
+                             static_cast<std::int64_t>(epoch_monotonic_ns());
+  std::vector<TraceData::Rec> recs;
+  recs.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint32_t name_len = 0;
+    if (!get(is, name_len) || name_len > (1U << 20)) {
+      return false;
+    }
+    TraceData::Rec r;
+    r.name.resize(name_len);
+    is.read(r.name.data(), static_cast<std::streamsize>(name_len));
+    std::uint8_t cat = 0;
+    std::int32_t rank = 0;
+    if (!get(is, cat) || !get(is, rank) || !get(is, r.t0_ns) ||
+        !get(is, r.t1_ns) || !get(is, r.a0) || !get(is, r.a1) ||
+        !get(is, r.depth)) {
+      return false;
+    }
+    r.cat = static_cast<Cat>(cat);
+    r.rank = rank;
+    const auto shift = [delta](std::uint64_t t) {
+      const std::int64_t shifted = static_cast<std::int64_t>(t) + delta;
+      return shifted > 0 ? static_cast<std::uint64_t>(shifted)
+                         : std::uint64_t{0};
+    };
+    r.t0_ns = shift(r.t0_ns);
+    r.t1_ns = shift(r.t1_ns);
+    recs.push_back(std::move(r));
+  }
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mtx);
+  reg.imported.insert(reg.imported.end(),
+                      std::make_move_iterator(recs.begin()),
+                      std::make_move_iterator(recs.end()));
+  reg.imported_dropped += dropped;
+  return true;
 }
 
 }  // namespace jitfd::obs

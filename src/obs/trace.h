@@ -184,12 +184,36 @@ struct TraceData {
   bool empty() const { return events.empty(); }
 };
 
-/// Snapshot all buffers. Call when writers are quiescent (ranks joined
+/// Snapshot all buffers — this process's rings plus any records merged
+/// in via import_file(). Call when writers are quiescent (ranks joined
 /// or behind a barrier) for a complete picture.
 TraceData collect();
 
-/// Discard all recorded events (buffers are kept). Same quiescence
-/// caveat as collect().
+/// Discard all recorded events, including imported ones (buffers are
+/// kept). Same quiescence caveat as collect().
 void reset();
+
+// --- Cross-process aggregation (process_shm transport) -----------------
+//
+// Rank processes cannot share ring buffers, so each child serializes its
+// snapshot to a file before _exit and the launcher merges the files back
+// into this registry. Timestamps are per-process (ns since the trace
+// epoch pinned at first use), but the epoch itself sits on the
+// system-wide CLOCK_MONOTONIC timeline, so records realign exactly:
+// merged_t = t + (their_epoch_monotonic - our_epoch_monotonic).
+
+/// Absolute CLOCK_MONOTONIC position of this process's trace epoch, in
+/// nanoseconds. Pins the epoch if no event has been recorded yet.
+std::uint64_t epoch_monotonic_ns();
+
+/// Serialize collect() plus this process's epoch to a binary file.
+/// Throws std::runtime_error if the file cannot be written.
+void save_file(const std::string& path);
+
+/// Merge a save_file() produced by another process into this registry,
+/// realigning timestamps onto the local epoch. Imported records show up
+/// in collect() (tagged with their recorded ranks) until reset().
+/// Returns false if the file is missing or malformed.
+bool import_file(const std::string& path);
 
 }  // namespace jitfd::obs

@@ -50,8 +50,10 @@ DerivedFacts derive_for() {
         models::analyze(*op, "probe", so, 0).flops_per_point;
   }
   // Communication structure from the halo-detection pass on a distributed
-  // instance (8 ranks, 2x2x2).
-  smpi::run(8, [&](smpi::Communicator& comm) {
+  // instance (8 ranks, 2x2x2). Pinned to the thread transport: derived
+  // facts feed the perf model and must not vary with JITFD_TRANSPORT.
+  smpi::launch({.nranks = 8, .transport = smpi::TransportKind::Threads},
+               [&](smpi::Communicator& comm) {
     if (comm.rank() != 0) {
       grid::Grid g({8, 8, 8}, {1.0, 1.0, 1.0}, comm);
       Model model(g, 4);

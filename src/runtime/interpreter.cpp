@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "core/env.h"
 #include "obs/trace.h"
 
 namespace jitfd::runtime {
@@ -509,15 +510,11 @@ void Interpreter::run(std::int64_t time_m, std::int64_t time_M,
   // padded by JITFD_DELAY_US microseconds. Re-read per run (not cached)
   // so tests can retarget the slow rank between runs.
   std::int64_t delay_us = 0;
-  {
-    const char* dr = std::getenv("JITFD_DELAY_RANK");
-    const char* du = std::getenv("JITFD_DELAY_US");
-    if (dr != nullptr && du != nullptr) {
-      const grid::Grid& g = fields_->all().front()->grid();
-      const int rank = g.distributed() ? g.cart()->comm().rank() : 0;
-      if (std::atoi(dr) == rank) {
-        delay_us = std::atol(du);
-      }
+  if (env::is_set("JITFD_DELAY_RANK") && env::is_set("JITFD_DELAY_US")) {
+    const grid::Grid& g = fields_->all().front()->grid();
+    const int rank = g.distributed() ? g.cart()->comm().rank() : 0;
+    if (env::get_int("JITFD_DELAY_RANK", -1) == rank) {
+      delay_us = env::get_int("JITFD_DELAY_US", 0);
     }
   }
   const auto step_delay = [&](std::int64_t t) {

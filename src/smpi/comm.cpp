@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstring>
 #include <stdexcept>
+#include <vector>
 
 #include "obs/trace.h"
 
@@ -19,51 +20,12 @@ Status Request::wait() {
 
 bool Request::test() const { return state_ == nullptr || state_->test(); }
 
-World::World(int nranks) {
-  if (nranks < 1) {
-    throw std::invalid_argument("smpi::World needs at least one rank");
-  }
-  mailboxes_.reserve(static_cast<std::size_t>(nranks));
-  for (int r = 0; r < nranks; ++r) {
-    mailboxes_.push_back(std::make_unique<Mailbox>(&pool_, &transport_));
+World::World(std::unique_ptr<Transport> transport)
+    : transport_(std::move(transport)) {
+  if (transport_ == nullptr) {
+    throw std::invalid_argument("smpi::World needs a transport");
   }
 }
-
-void World::barrier() {
-  const jitfd::obs::Span span("smpi.barrier", jitfd::obs::Cat::Sync);
-  std::unique_lock<std::mutex> lock(barrier_mtx_);
-  const std::uint64_t my_generation = barrier_generation_;
-  if (++barrier_waiting_ == size()) {
-    barrier_waiting_ = 0;
-    ++barrier_generation_;
-    barrier_cv_.notify_all();
-    return;
-  }
-  barrier_cv_.wait(lock, [&] { return barrier_generation_ != my_generation; });
-}
-
-namespace {
-
-void deliver_bytes(World& world, int from, int dest, int tag, Channel channel,
-                   const void* buf, std::size_t bytes) {
-  world.count_message();
-  world.mailbox(dest).deliver(from, tag, channel, buf, bytes);
-}
-
-std::shared_ptr<OpState> post_recv_bytes(World& world, int me, void* buf,
-                                         std::size_t bytes, int source,
-                                         int tag, Channel channel) {
-  auto op = std::make_shared<OpState>();
-  op->recv_buf = buf;
-  op->recv_capacity = bytes;
-  op->want_source = source;
-  op->want_tag = tag;
-  op->channel = channel;
-  world.mailbox(me).post_recv(op);
-  return op;
-}
-
-}  // namespace
 
 void Communicator::send(const void* buf, std::size_t bytes, int dest,
                         int tag) const {
@@ -71,7 +33,7 @@ void Communicator::send(const void* buf, std::size_t bytes, int dest,
     return;
   }
   assert(dest >= 0 && dest < size());
-  deliver_bytes(*world_, rank_, dest, tag, Channel::User, buf, bytes);
+  world_->impl().send(rank_, dest, tag, Channel::User, buf, bytes);
 }
 
 Status Communicator::recv(void* buf, std::size_t bytes, int source,
@@ -79,8 +41,8 @@ Status Communicator::recv(void* buf, std::size_t bytes, int source,
   if (source == kProcNull) {
     return Status{kProcNull, tag, 0};
   }
-  auto op =
-      post_recv_bytes(*world_, rank_, buf, bytes, source, tag, Channel::User);
+  auto op = world_->impl().post_recv(rank_, buf, bytes, source, tag,
+                                     Channel::User);
   op->wait();
   return op->status;
 }
@@ -100,8 +62,8 @@ Request Communicator::irecv(void* buf, std::size_t bytes, int source,
     done->complete(Status{kProcNull, tag, 0});
     return Request(std::move(done));
   }
-  return Request(
-      post_recv_bytes(*world_, rank_, buf, bytes, source, tag, Channel::User));
+  return Request(world_->impl().post_recv(rank_, buf, bytes, source, tag,
+                                          Channel::User));
 }
 
 Status Communicator::sendrecv(const void* sendbuf, std::size_t send_bytes,
@@ -111,6 +73,11 @@ Status Communicator::sendrecv(const void* sendbuf, std::size_t send_bytes,
   Request rx = irecv(recvbuf, recv_bytes, source, recv_tag);
   send(sendbuf, send_bytes, dest, send_tag);
   return rx.wait();
+}
+
+void Communicator::barrier() const {
+  const jitfd::obs::Span span("smpi.barrier", jitfd::obs::Cat::Sync);
+  world_->barrier(rank_);
 }
 
 namespace {
@@ -144,6 +111,7 @@ void Communicator::allreduce_impl(std::span<T> values, ReduceOp op) const {
   // the control path (norms, diagnostics), never in the halo-exchange inner
   // loop.
   const std::size_t bytes = values.size_bytes();
+  Transport& t = world_->impl();
   // Closed before the broadcast so the nested bcast span isn't counted
   // twice in the Sync totals.
   jitfd::obs::Span span("smpi.allreduce", jitfd::obs::Cat::Sync,
@@ -151,14 +119,14 @@ void Communicator::allreduce_impl(std::span<T> values, ReduceOp op) const {
   if (rank_ == 0) {
     std::vector<T> incoming(values.size());
     for (int src = 1; src < size(); ++src) {
-      auto rx = post_recv_bytes(*world_, rank_, incoming.data(), bytes, src,
-                                kCollectiveTag, Channel::Collective);
+      auto rx = t.post_recv(rank_, incoming.data(), bytes, src, kCollectiveTag,
+                            Channel::Collective);
       rx->wait();
       apply_reduce<T>(op, values, incoming);
     }
   } else {
-    deliver_bytes(*world_, rank_, 0, kCollectiveTag, Channel::Collective,
-                  values.data(), bytes);
+    t.send(rank_, 0, kCollectiveTag, Channel::Collective, values.data(),
+           bytes);
   }
   span.close();
   bcast(values.data(), bytes, 0);
@@ -176,16 +144,16 @@ void Communicator::allreduce(std::span<std::int64_t> values,
 void Communicator::bcast(void* buf, std::size_t bytes, int root) const {
   const jitfd::obs::Span span("smpi.bcast", jitfd::obs::Cat::Sync,
                               static_cast<std::int64_t>(bytes), root);
+  Transport& t = world_->impl();
   if (rank_ == root) {
     for (int dst = 0; dst < size(); ++dst) {
       if (dst != root) {
-        deliver_bytes(*world_, rank_, dst, kCollectiveTag, Channel::Collective,
-                      buf, bytes);
+        t.send(rank_, dst, kCollectiveTag, Channel::Collective, buf, bytes);
       }
     }
   } else {
-    auto rx = post_recv_bytes(*world_, rank_, buf, bytes, root, kCollectiveTag,
-                              Channel::Collective);
+    auto rx = t.post_recv(rank_, buf, bytes, root, kCollectiveTag,
+                          Channel::Collective);
     rx->wait();
   }
 }
@@ -194,6 +162,7 @@ void Communicator::gather(const void* sendbuf, std::size_t bytes,
                           void* recvbuf, int root) const {
   const jitfd::obs::Span span("smpi.gather", jitfd::obs::Cat::Sync,
                               static_cast<std::int64_t>(bytes), root);
+  Transport& t = world_->impl();
   if (rank_ == root) {
     auto* out = static_cast<std::byte*>(recvbuf);
     std::memcpy(out + static_cast<std::size_t>(root) * bytes, sendbuf, bytes);
@@ -201,14 +170,13 @@ void Communicator::gather(const void* sendbuf, std::size_t bytes,
       if (src == root) {
         continue;
       }
-      auto rx = post_recv_bytes(
-          *world_, rank_, out + static_cast<std::size_t>(src) * bytes, bytes,
-          src, kCollectiveTag, Channel::Collective);
+      auto rx =
+          t.post_recv(rank_, out + static_cast<std::size_t>(src) * bytes,
+                      bytes, src, kCollectiveTag, Channel::Collective);
       rx->wait();
     }
   } else {
-    deliver_bytes(*world_, rank_, root, kCollectiveTag, Channel::Collective,
-                  sendbuf, bytes);
+    t.send(rank_, root, kCollectiveTag, Channel::Collective, sendbuf, bytes);
   }
 }
 

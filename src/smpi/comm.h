@@ -1,21 +1,20 @@
 // Communicator: the rank-facing API of the SMPI substrate.
 //
-// A World owns the shared state (one mailbox per rank, barrier); each rank
-// thread holds a Communicator that references the World plus its own rank.
-// The API mirrors the MPI subset the generated halo-exchange code and the
-// distributed-data layer need.
+// A World owns a Transport — the seam that decides whether ranks are
+// threads in this address space or forked processes over shared-memory
+// rings (smpi/transport.h). Each rank holds a Communicator that
+// references the World plus its own rank. The API mirrors the MPI subset
+// the generated halo-exchange code and the distributed-data layer need,
+// and is transport-agnostic: collectives are built on tagged
+// point-to-point, so they run unchanged on every transport.
 #pragma once
 
-#include <atomic>
-#include <condition_variable>
 #include <cstddef>
-#include <functional>
 #include <memory>
-#include <mutex>
 #include <span>
-#include <vector>
 
 #include "smpi/mailbox.h"
+#include "smpi/transport.h"
 #include "smpi/types.h"
 
 namespace smpi {
@@ -40,37 +39,41 @@ class Request {
   std::shared_ptr<OpState> state_;
 };
 
-/// Shared, process-wide state behind a set of rank threads.
+/// The per-process face of one launch: a Transport plus the World-level
+/// accessors the runtime and tests sample (message counts, pool stats,
+/// delivery counters). Under the threads transport one World serves every
+/// rank; under process_shm each rank process holds its own World over its
+/// endpoint of the shared segment — either way the accessors report
+/// world-wide totals.
 class World {
  public:
-  explicit World(int nranks);
+  /// Classic shape: a threads-as-ranks world (used by tests that build
+  /// worlds directly; smpi::launch constructs transports explicitly).
+  explicit World(int nranks) : World(make_thread_transport(nranks)) {}
 
-  int size() const { return static_cast<int>(mailboxes_.size()); }
-  Mailbox& mailbox(int rank) { return *mailboxes_.at(static_cast<std::size_t>(rank)); }
+  explicit World(std::unique_ptr<Transport> transport);
 
-  /// Sense-reversing barrier across all ranks of the world.
-  void barrier();
+  int size() const { return transport_->size(); }
 
-  /// Total messages delivered since construction (diagnostics / tests).
-  std::uint64_t message_count() const { return messages_.load(); }
-  void count_message() { messages_.fetch_add(1, std::memory_order_relaxed); }
+  /// Barrier across all ranks; `rank` is the calling rank.
+  void barrier(int rank) { transport_->barrier(rank); }
 
-  /// The shared unexpected-message payload pool (stats / tests).
-  BufferPool& pool() { return pool_; }
-  const BufferPool& pool() const { return pool_; }
+  /// Total messages delivered world-wide since construction.
+  std::uint64_t message_count() const { return transport_->message_count(); }
 
-  /// Rendezvous-vs-queued delivery counters (stats / tests).
-  const TransportCounters& transport() const { return transport_; }
+  /// The unexpected-message payload pool serving this process.
+  BufferPool& pool() { return transport_->pool(); }
+  const BufferPool& pool() const { return transport_->pool(); }
+
+  /// Rendezvous-vs-queued delivery counters (world-wide totals).
+  const TransportCounters& transport() const { return transport_->counters(); }
+
+  /// The transport behind this world (kind checks, diagnostics).
+  Transport& impl() { return *transport_; }
+  const Transport& impl() const { return *transport_; }
 
  private:
-  BufferPool pool_;
-  TransportCounters transport_;
-  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
-  std::mutex barrier_mtx_;
-  std::condition_variable barrier_cv_;
-  int barrier_waiting_ = 0;
-  std::uint64_t barrier_generation_ = 0;
-  std::atomic<std::uint64_t> messages_{0};
+  std::unique_ptr<Transport> transport_;
 };
 
 /// Per-rank communicator. Cheap to copy; all copies refer to the same
@@ -87,7 +90,7 @@ class Communicator {
   // --- Point-to-point (byte-level) -------------------------------------
 
   /// Buffered blocking send: completes locally as soon as the payload has
-  /// been copied into the destination mailbox (never deadlocks on itself).
+  /// left `buf` (never deadlocks on itself).
   void send(const void* buf, std::size_t bytes, int dest, int tag) const;
 
   /// Blocking receive; returns the matched message's status.
@@ -118,7 +121,7 @@ class Communicator {
 
   // --- Collectives -------------------------------------------------------
 
-  void barrier() const { world_->barrier(); }
+  void barrier() const;
 
   /// In-place allreduce over a span of doubles.
   void allreduce(std::span<double> values, ReduceOp op) const;

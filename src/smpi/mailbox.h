@@ -13,12 +13,14 @@
 // message is eventually matched.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstring>
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <thread>
 
 #include "smpi/pool.h"
 #include "smpi/types.h"
@@ -30,12 +32,28 @@ namespace smpi {
 /// Send-side operations complete at enqueue time (buffered semantics), so
 /// their OpState is constructed already-done. Receive-side OpStates are
 /// completed either at post time (when a matching message is already
-/// pending) or later by the delivering sender thread.
+/// pending), later by the delivering sender thread (threads transport),
+/// or by the posting rank's own endpoint polling (process transport, via
+/// the Progressor hook).
 struct OpState {
+  /// Polling driver for transports whose receives complete only when the
+  /// posting rank drains its endpoint (process_shm). The threads
+  /// transport leaves it null: sender threads complete ops directly.
+  /// wait()/test() may only be called from the posting rank (the MPI
+  /// contract), so driving the endpoint from them is race-free.
+  class Progressor {
+   public:
+    virtual void progress() = 0;
+
+   protected:
+    ~Progressor() = default;
+  };
+
   std::mutex mtx;
   std::condition_variable cv;
   bool done = false;
   Status status;
+  Progressor* progressor = nullptr;
 
   // Receive descriptor (only meaningful while !done for receives).
   void* recv_buf = nullptr;
@@ -53,12 +71,39 @@ struct OpState {
     cv.notify_all();
   }
 
+  bool done_now() {
+    const std::lock_guard<std::mutex> lock(mtx);
+    return done;
+  }
+
   void wait() {
+    if (progressor != nullptr) {
+      // Poll-driven completion with a politeness ramp: spin briefly, then
+      // yield, then sleep — oversubscribed rank processes must not burn
+      // whole cores waiting on a peer that owns the same core.
+      int idle = 0;
+      while (!done_now()) {
+        progressor->progress();
+        if (done_now()) {
+          return;
+        }
+        ++idle;
+        if (idle > 4096) {
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+        } else if (idle > 64) {
+          std::this_thread::yield();
+        }
+      }
+      return;
+    }
     std::unique_lock<std::mutex> lock(mtx);
     cv.wait(lock, [&] { return done; });
   }
 
   bool test() {
+    if (progressor != nullptr && !done_now()) {
+      progressor->progress();
+    }
     const std::lock_guard<std::mutex> lock(mtx);
     return done;
   }

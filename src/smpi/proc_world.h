@@ -1,0 +1,52 @@
+// The process_shm transport: ranks as forked OS processes.
+//
+// smpi::launch (runtime.cpp) calls launch_process_shm() when the
+// transport resolves to TransportKind::ProcessShm. The launching process
+// *is* rank 0 — mirroring the threads transport, where rank 0 runs on
+// the calling thread — and ranks 1..n-1 are forked children. They share:
+//
+//   - one MAP_SHARED | MAP_ANONYMOUS segment created before fork,
+//     holding the world-wide message/delivery counters and one SPSC byte
+//     ring per ordered rank pair (smpi/shm_ring.h);
+//   - one SOCK_STREAM socketpair per child: the control channel for the
+//     startup handshake, barriers, and exit/error reporting.
+//
+// Pack/unpack plans, collectives, health reduction and the interpreter
+// run unchanged: they only see Communicator over the Transport seam.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+namespace smpi {
+
+class Communicator;
+
+/// Failure of a non-zero rank process, rethrown by the launcher in the
+/// launching process. Rank 0 runs in the launching process itself, so
+/// its exceptions are rethrown with their original type; child errors
+/// cross the process boundary as what() strings and arrive as RankError.
+class RankError : public std::runtime_error {
+ public:
+  RankError(int rank, const std::string& message)
+      : std::runtime_error("rank " + std::to_string(rank) + ": " + message),
+        rank_(rank) {}
+
+  int rank() const { return rank_; }
+
+ private:
+  int rank_;
+};
+
+/// Run `body` as `nranks` processes over shared-memory rings of
+/// `ring_bytes` payload capacity each (rounded up to a power of two).
+/// Returns after every rank process has exited; the first error by rank
+/// order is rethrown (rank 0 with its original type, children as
+/// RankError). Traces recorded by child ranks are merged into this
+/// process's registry (obs::import_file) before returning.
+void launch_process_shm(int nranks, std::size_t ring_bytes,
+                        const std::function<void(Communicator&)>& body);
+
+}  // namespace smpi

@@ -4,13 +4,17 @@
 #include <thread>
 #include <vector>
 
+#include "core/env.h"
 #include "obs/events.h"
 #include "obs/trace.h"
 
 namespace smpi {
 
-void run(int nranks, const std::function<void(Communicator&)>& body) {
-  World world(nranks);
+namespace {
+
+void launch_threads(int nranks,
+                    const std::function<void(Communicator&)>& body) {
+  World world(make_thread_transport(nranks));
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
 
   // Rank 0 runs on the calling thread so single-rank runs need no thread
@@ -47,6 +51,32 @@ void run(int nranks, const std::function<void(Communicator&)>& body) {
       std::rethrow_exception(err);
     }
   }
+}
+
+}  // namespace
+
+void launch(const LaunchOptions& opts,
+            const std::function<void(Communicator&)>& body) {
+  const TransportKind kind =
+      opts.transport.has_value() ? *opts.transport : default_transport();
+  switch (kind) {
+    case TransportKind::Threads:
+      launch_threads(opts.nranks, body);
+      return;
+    case TransportKind::ProcessShm: {
+      const std::size_t ring_kb =
+          opts.shm_ring_kb != 0
+              ? opts.shm_ring_kb
+              : static_cast<std::size_t>(
+                    jitfd::env::get_int("JITFD_SHM_RING_KB", 256));
+      launch_process_shm(opts.nranks, ring_kb * 1024, body);
+      return;
+    }
+  }
+}
+
+void run(int nranks, const std::function<void(Communicator&)>& body) {
+  launch(LaunchOptions{.nranks = nranks}, body);
 }
 
 }  // namespace smpi

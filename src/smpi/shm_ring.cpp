@@ -1,0 +1,66 @@
+#include "smpi/shm_ring.h"
+
+#include <algorithm>
+#include <cstring>
+#include <new>
+
+namespace smpi {
+
+std::size_t ShmRing::round_capacity(std::size_t n) {
+  std::size_t cap = 4096;
+  while (cap < n) {
+    cap <<= 1;
+  }
+  return cap;
+}
+
+ShmRing* ShmRing::init(void* mem, std::size_t capacity) {
+  return new (mem) ShmRing(capacity);
+}
+
+std::size_t ShmRing::try_write(const void* src, std::size_t bytes) {
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+  const std::size_t free_bytes =
+      capacity_ - static_cast<std::size_t>(tail - head);
+  const std::size_t n = std::min(bytes, free_bytes);
+  if (n == 0) {
+    return 0;
+  }
+  const std::size_t mask = capacity_ - 1;
+  const std::size_t pos = static_cast<std::size_t>(tail) & mask;
+  const std::size_t first = std::min(n, capacity_ - pos);
+  std::memcpy(data() + pos, src, first);
+  if (n > first) {
+    std::memcpy(data(), static_cast<const std::byte*>(src) + first, n - first);
+  }
+  tail_.store(tail + n, std::memory_order_release);
+  return n;
+}
+
+std::size_t ShmRing::try_read(void* dst, std::size_t bytes) {
+  const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+  const std::uint64_t head = head_.load(std::memory_order_relaxed);
+  const std::size_t avail = static_cast<std::size_t>(tail - head);
+  const std::size_t n = std::min(bytes, avail);
+  if (n == 0) {
+    return 0;
+  }
+  const std::size_t mask = capacity_ - 1;
+  const std::size_t pos = static_cast<std::size_t>(head) & mask;
+  const std::size_t first = std::min(n, capacity_ - pos);
+  std::memcpy(dst, data() + pos, first);
+  if (n > first) {
+    std::memcpy(static_cast<std::byte*>(dst) + first, data(), n - first);
+  }
+  head_.store(head + n, std::memory_order_release);
+  return n;
+}
+
+std::size_t ShmRing::readable() const {
+  const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+  const std::uint64_t head = head_.load(std::memory_order_relaxed);
+  return static_cast<std::size_t>(tail - head);
+}
+
+}  // namespace smpi

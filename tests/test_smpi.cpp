@@ -30,10 +30,14 @@ TEST(SmpiRuntime, SingleRankRuns) {
 }
 
 TEST(SmpiRuntime, AllRanksRunExactlyOnce) {
+  // Observing every rank through one shared atomic only works when ranks
+  // share an address space, so pin the thread transport regardless of
+  // JITFD_TRANSPORT (test_transport covers the cross-transport variant).
   std::atomic<int> mask{0};
-  smpi::run(4, [&](Communicator& comm) {
+  smpi::launch({.nranks = 4, .transport = smpi::TransportKind::Threads},
+               [&](Communicator& comm) {
     mask.fetch_or(1 << comm.rank());
-  });
+               });
   EXPECT_EQ(mask.load(), 0b1111);
 }
 
@@ -426,7 +430,11 @@ TEST(SmpiTransport, PrePostedReceiveIsSingleCopyRendezvous) {
 }
 
 TEST(SmpiTransport, UnexpectedMessageIsPooledTwoCopy) {
-  smpi::run(2, [](Communicator& comm) {
+  // Copy counts and pool behaviour are thread-transport properties (the
+  // process transport streams through shared-memory rings), so pin the
+  // transport: this test must hold regardless of JITFD_TRANSPORT.
+  smpi::launch({.nranks = 2, .transport = smpi::TransportKind::Threads},
+               [](Communicator& comm) {
     const auto& tc = comm.world().transport();
     const smpi::BufferPool& pool = comm.world().pool();
     const std::uint64_t q0 = tc.queued.load();
@@ -460,7 +468,7 @@ TEST(SmpiTransport, UnexpectedMessageIsPooledTwoCopy) {
       EXPECT_EQ(pool.stats().hits - hit0,
                 static_cast<std::uint64_t>(kRounds - 1));
     }
-  });
+               });
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 
 #include <cstdlib>
 #include <functional>
+#include <stdexcept>
 
 #include "core/operator.h"
 #include "grid/function.h"
@@ -354,14 +355,16 @@ TEST(Tiling, TimeTileWithoutBufferSlackClampsWithReason) {
 
 // --- JITFD_TILE / process defaults -----------------------------------------
 
-TEST(Tiling, ParseTileIsLenient) {
+TEST(Tiling, ParseTileIsStrict) {
   EXPECT_TRUE(Function::parse_tile("").empty());
   EXPECT_EQ(Function::parse_tile("16"), (std::vector<std::int64_t>{16}));
   EXPECT_EQ(Function::parse_tile("16,8,0"),
             (std::vector<std::int64_t>{16, 8, 0}));
-  // Unparsable tokens degrade to 0 (untiled) instead of throwing.
-  EXPECT_EQ(Function::parse_tile("x,4"), (std::vector<std::int64_t>{0, 4}));
+  // Empty tokens mean "untiled in this dimension"; anything non-numeric
+  // is a hard configuration error rather than a silent 0.
   EXPECT_EQ(Function::parse_tile("8,,2"), (std::vector<std::int64_t>{8, 0, 2}));
+  EXPECT_THROW(Function::parse_tile("x,4"), std::invalid_argument);
+  EXPECT_THROW(Function::parse_tile("16,8cols"), std::invalid_argument);
 }
 
 TEST(Tiling, DefaultTileAppliesWhenOptionsLeaveTileEmpty) {
