@@ -10,7 +10,16 @@
 // Usage:
 //   bench_strong_scaling [--kernel=acoustic|elastic|tti|viscoelastic]
 //                        [--target=cpu|gpu] [--so=8] [--topology=x,y,z]
+//                        [--out=FILE]
+//
+// --out=FILE additionally writes the selected tables through the shared
+// bench_util.h series schema (one series per kernel/target/so/pattern;
+// GPts/s per unit column and the 128-unit efficiency as counters) so
+// the perf sentinel can gate the model outputs like the measured
+// benches. The counters are deterministic model evaluations, so the
+// committed baseline holds them exactly.
 #include <cmath>
+#include <fstream>
 
 #include "bench_util.h"
 #include "ir/lower.h"
@@ -22,7 +31,8 @@ using benchutil::arg_value;
 namespace ir = jitfd::ir;
 
 void run_table(const KernelSpec& spec, Target target, int so,
-               const std::vector<int>& topology) {
+               const std::vector<int>& topology,
+               std::vector<benchutil::MeasuredSeries>* out_rows) {
   const MachineSpec mach = target == Target::Cpu ? archer2_node()
                                                  : tursa_a100();
   ScalingModel model(mach, spec, target);
@@ -55,6 +65,18 @@ void run_table(const KernelSpec& spec, Target target, int so,
                 "pack %.2f ms/step)\n",
                 "", 100.0 * last.efficiency, last.t_comp * 1e3,
                 last.t_net * 1e3, last.t_pack * 1e3);
+    if (out_rows != nullptr) {
+      benchutil::MeasuredSeries series;
+      series.name = spec.name + "/" +
+                    (target == Target::Cpu ? "cpu" : "gpu") + "/so" +
+                    std::to_string(so) + "/" + ir::to_string(mode);
+      series.seconds.push_back(last.step_seconds);
+      for (std::size_t i = 0; i < kUnitColumns.size(); ++i) {
+        series.counters["gpts_u" + std::to_string(kUnitColumns[i])] = row[i];
+      }
+      series.counters["eff128_pct"] = 100.0 * last.efficiency;
+      out_rows->push_back(std::move(series));
+    }
   }
   std::printf("\n");
 }
@@ -66,6 +88,7 @@ int main(int argc, char** argv) {
   const std::string target_s = arg_value(argc, argv, "target", "all");
   const std::string so_s = arg_value(argc, argv, "so", "all");
   const std::string topo_s = arg_value(argc, argv, "topology", "");
+  const std::string out = arg_value(argc, argv, "out", "");
 
   std::vector<int> topology;
   if (!topo_s.empty()) {
@@ -82,6 +105,7 @@ int main(int argc, char** argv) {
 
   std::printf("=== Strong scaling (paper Section IV-D; Figures 8-11, "
               "13-20; Tables III-XXXIV) ===\n\n");
+  std::vector<benchutil::MeasuredSeries> rows;
   for (const KernelSpec& spec : all_kernel_specs()) {
     if (kernel != "all" && kernel != spec.name) {
       continue;
@@ -97,9 +121,21 @@ int main(int argc, char** argv) {
         if (so_s != "all" && std::stoi(so_s) != so) {
           continue;
         }
-        run_table(spec, target, so, topology);
+        run_table(spec, target, so, topology, out.empty() ? nullptr : &rows);
       }
     }
+  }
+  if (!out.empty()) {
+    const std::string json = benchutil::series_json(
+        "strong_scaling",
+        "Analytical strong-scaling model: GPts/s per unit count and "
+        "128-unit parallel efficiency per kernel/target/order/pattern. "
+        "Counters are deterministic model evaluations; median_seconds is "
+        "the modeled 128-unit step time (machine-independent, gate with "
+        "counters only).",
+        rows, {{"kernel", kernel}, {"target", target_s}, {"so", so_s}});
+    std::ofstream f(out);
+    f << json;
   }
   return 0;
 }

@@ -71,6 +71,10 @@ struct MeasuredSeries {
   std::string name;              ///< e.g. "full/k4".
   std::vector<double> seconds;   ///< Wall seconds, one per repetition.
   std::map<std::string, double> counters;
+  /// Perfmodel drift gates: metric -> {|measured - predicted| drift,
+  /// allowed band}. The committed baseline's band is the contract the
+  /// sentinel holds fresh runs to (src/obs/sentinel.h).
+  std::map<std::string, std::pair<double, double>> drift;
 };
 
 inline double median_of(std::vector<double> v) {
@@ -136,6 +140,19 @@ inline std::string series_json(
     for (const auto& [key, value] : s.counters) {
       os << ",\n      \"" << key << "\": ";
       json_number(os, value);
+    }
+    if (!s.drift.empty()) {
+      os << ",\n      \"drift\": {";
+      bool first = true;
+      for (const auto& [metric, gate] : s.drift) {
+        os << (first ? "" : ", ") << "\"" << metric << "\": {\"value\": ";
+        json_number(os, gate.first);
+        os << ", \"band\": ";
+        json_number(os, gate.second);
+        os << "}";
+        first = false;
+      }
+      os << "}";
     }
     os << "\n    }" << (i + 1 < rows.size() ? "," : "") << "\n";
   }

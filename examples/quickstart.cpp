@@ -30,13 +30,33 @@
 //   ... --on-nan=abort_dump             # on NaN/Inf: write the flight-
 //                                       # recorder bundle and exit nonzero
 //                                       # (also: ignore | record)
+//   ./quickstart 4 --autotune=at.json   # trial every halo pattern x
+//                                       # depth x tile, apply the winner,
+//                                       # write the report (with the
+//                                       # "why" decision trail) to the
+//                                       # file; --objective=attributed
+//                                       # scores trials on attributed
+//                                       # cost (wait + redundant +
+//                                       # imbalance) instead of wall time
+//   ./quickstart 4 --rebalance          # closed loop: traced uniform
+//                                       # run -> measured per-rank load
+//                                       # -> biased dimension-0 split ->
+//                                       # rerun, asserting the rebalanced
+//                                       # model is bitwise identical.
+//                                       # --expect-rebalance[=RANK] exits
+//                                       # nonzero unless a rebalance was
+//                                       # recommended (pinning RANK);
+//                                       # inject load with
+//                                       # JITFD_DELAY_RANK/JITFD_DELAY_US
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "core/autotune.h"
 #include "core/env.h"
 #include "core/operator.h"
 #include "grid/function.h"
@@ -44,6 +64,8 @@
 #include "obs/flight.h"
 #include "obs/health.h"
 #include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "smpi/runtime.h"
 #include "symbolic/manip.h"
 
@@ -116,6 +138,181 @@ jitfd::core::RunSummary simulate(const Grid& grid, int rank, bool trace,
   return run;
 }
 
+// --autotune=FILE: tune the diffusion operator over pattern x depth x
+// tile, apply one step with the winner, and write the machine-readable
+// report (tools/trace_check --autotune validates it).
+int run_autotune(int nranks, smpi::LaunchOptions launch_opts,
+                 const std::string& path, jitfd::core::Objective objective) {
+  constexpr std::int64_t kEdge = 16;
+  int status = 0;
+  const auto tune = [&](const Grid& grid, smpi::Communicator* comm) {
+    const double nu = 0.5;
+    const double dt = 0.25 * grid.spacing(0) * grid.spacing(1) / nu;
+    TimeFunction u("u", grid, /*space_order=*/2, /*time_order=*/1);
+    u.fill_global_box(0, std::vector<std::int64_t>{1, 1},
+                      std::vector<std::int64_t>{kEdge - 1, kEdge - 1}, 1.0F);
+    const sym::Ex pde = u.dt() - nu * u.laplace();
+    const ir::Eq stencil(u.forward(),
+                         sym::solve(pde, sym::Ex(0), u.forward()));
+    jitfd::core::AutotuneReport report;
+    const auto op = jitfd::core::autotune_operator(
+        {stencil}, {}, {{"dt", dt}}, /*time_m=*/0, /*trial_steps=*/3, &report,
+        {}, objective);
+    op->apply({.time_m = 0, .time_M = 0, .scalars = {{"dt", dt}}});
+    if (comm == nullptr || comm->rank() == 0) {
+      std::printf("autotune (%s objective): chose %s, depth %d\n",
+                  report.objective == jitfd::core::Objective::Attributed
+                      ? "attributed"
+                      : "wall",
+                  ir::to_string(report.best), report.best_depth);
+      std::printf("  why: %s\n", report.why.c_str());
+      if (report.rebalance_recommended) {
+        std::printf("  rebalance recommended: rank %d persistently "
+                    "critical\n",
+                    report.rebalance_rank);
+      }
+      if (jitfd::core::write_autotune_file(path, report)) {
+        std::printf("autotune report written to %s\n", path.c_str());
+      } else {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        status = 1;
+      }
+    }
+  };
+  if (nranks > 1) {
+    launch_opts.nranks = nranks;
+    smpi::launch(launch_opts, [&](smpi::Communicator& comm) {
+      const Grid grid({kEdge, kEdge}, {2.0, 2.0}, comm);
+      tune(grid, &comm);
+    });
+  } else {
+    const Grid grid({kEdge, kEdge}, {2.0, 2.0});
+    tune(grid, nullptr);
+  }
+  return status;
+}
+
+// --rebalance: the closed loop. A traced uniform run measures per-rank
+// compute; the loads are allreduced (rank-uniform under both
+// transports, where live traces may only cover the own rank), fed to
+// Grid::plan_rebalance, and — when a biased split is recommended — the
+// same simulation reruns on the biased grid. The gathered wavefields
+// must be bitwise identical: decomposition placement must never change
+// the model.
+int run_rebalance(int nranks, smpi::LaunchOptions launch_opts,
+                  bool expect_rebalance, int expect_rank) {
+  constexpr std::int64_t kEdge = 32;
+  constexpr int kSteps = 6;
+  if (nranks < 2) {
+    std::fprintf(stderr, "--rebalance needs >= 2 ranks\n");
+    return 2;
+  }
+  jitfd::grid::RebalancePlan plan;
+  std::string clamp_reason;
+  bool bitwise_equal = false;
+  launch_opts.nranks = nranks;
+  smpi::launch(launch_opts, [&](smpi::Communicator& comm) {
+    // Pin a 1-D dimension-0 topology so process rows map 1:1 to ranks.
+    const std::vector<int> topo{comm.size(), 1};
+    const auto diffuse = [&](const Grid& grid, bool trace) {
+      TimeFunction u("u", grid, /*space_order=*/2, /*time_order=*/1);
+      u.fill_global_box(0, std::vector<std::int64_t>{kEdge / 4, kEdge / 4},
+                        std::vector<std::int64_t>{kEdge / 2, kEdge / 2},
+                        1.0F);
+      const sym::Ex pde = u.dt() - 0.5 * u.laplace();
+      Operator op({ir::Eq(u.forward(),
+                          sym::solve(pde, sym::Ex(0), u.forward()))});
+      op.apply({.time_m = 0,
+                .time_M = kSteps - 1,
+                .scalars = {{"dt", 1e-4}},
+                .trace = trace});
+      return u.gather(kSteps % 2);
+    };
+
+    obs::reset();
+    comm.barrier();
+    std::vector<float> base;
+    jitfd::grid::RebalancePlan local_plan;
+    {
+      const Grid grid({kEdge, kEdge}, {2.0, 2.0}, comm, topo);
+      base = diffuse(grid, /*trace=*/true);
+
+      // Own compute seconds from the trace; every transport sees at
+      // least its own rank's events live.
+      const obs::RunProfile profile = obs::profile_from(obs::collect());
+      std::vector<double> loads(static_cast<std::size_t>(comm.size()), 0.0);
+      for (const obs::RankProfile& r : profile.ranks) {
+        if (r.rank == comm.rank()) {
+          loads[static_cast<std::size_t>(r.rank)] = r.compute_s;
+        }
+      }
+      comm.allreduce(std::span<double>(loads), smpi::ReduceOp::Sum);
+      obs::AnalysisReport report;
+      for (int r = 0; r < comm.size(); ++r) {
+        report.rank_loads.push_back(
+            {r, loads[static_cast<std::size_t>(r)]});
+      }
+      jitfd::grid::RebalanceOptions ropts;
+      ropts.threshold =
+          jitfd::env::get_float("JITFD_REBALANCE_THRESHOLD", 1.25);
+      local_plan = grid.plan_rebalance(report, ropts);
+    }
+    obs::reset();
+    comm.barrier();
+
+    std::vector<float> biased;
+    std::string local_clamp;
+    if (local_plan.changed) {
+      const Grid grid({kEdge, kEdge}, {2.0, 2.0}, comm, topo,
+                      local_plan.sizes);
+      local_clamp = grid.rebalance_clamp_reason();
+      biased = diffuse(grid, /*trace=*/false);
+    }
+    if (comm.rank() == 0) {
+      plan = local_plan;
+      clamp_reason = local_clamp;
+      bitwise_equal =
+          local_plan.changed && base.size() == biased.size() &&
+          std::memcmp(base.data(), biased.data(),
+                      base.size() * sizeof(float)) == 0;
+    }
+  });
+
+  std::printf("rebalance plan: %s (measured ratio %.3f, critical part "
+              "%d)\n",
+              plan.reason.c_str(), plan.measured_ratio, plan.critical_part);
+  if (plan.changed) {
+    std::printf("  biased dimension-0 split:");
+    for (const std::int64_t s : plan.sizes) {
+      std::printf(" %lld", static_cast<long long>(s));
+    }
+    std::printf("\n");
+    if (!clamp_reason.empty()) {
+      std::fprintf(stderr, "  split rejected by grid: %s\n",
+                   clamp_reason.c_str());
+      return 5;
+    }
+    if (!bitwise_equal) {
+      std::fprintf(stderr,
+                   "  FAIL: rebalanced wavefield differs from uniform\n");
+      return 5;
+    }
+    std::printf("  rebalanced wavefield bitwise identical to uniform "
+                "split\n");
+  }
+  if (expect_rebalance && !plan.changed) {
+    std::fprintf(stderr, "expected a rebalance recommendation, got: %s\n",
+                 plan.reason.c_str());
+    return 4;
+  }
+  if (expect_rank >= 0 && plan.critical_part != expect_rank) {
+    std::fprintf(stderr, "expected critical part %d, plan names %d\n",
+                 expect_rank, plan.critical_part);
+    return 4;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -123,6 +320,11 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string analysis_path;
   std::string metrics_path;
+  std::string autotune_path;
+  jitfd::core::Objective objective = jitfd::core::Objective::FromEnv;
+  bool rebalance = false;
+  bool expect_rebalance = false;
+  int expect_rank = -1;
   smpi::LaunchOptions launch_opts;
   HealthArgs health;
   for (int i = 1; i < argc; ++i) {
@@ -132,6 +334,26 @@ int main(int argc, char** argv) {
       analysis_path = argv[i] + 11;
     } else if (std::strncmp(argv[i], "--metrics=", 10) == 0) {
       metrics_path = argv[i] + 10;
+    } else if (std::strncmp(argv[i], "--autotune=", 11) == 0) {
+      autotune_path = argv[i] + 11;
+    } else if (std::strncmp(argv[i], "--objective=", 12) == 0) {
+      const std::string name = argv[i] + 12;
+      if (name == "wall") {
+        objective = jitfd::core::Objective::Wall;
+      } else if (name == "attributed") {
+        objective = jitfd::core::Objective::Attributed;
+      } else {
+        std::fprintf(stderr, "unknown --objective=%s (wall|attributed)\n",
+                     name.c_str());
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--rebalance") == 0) {
+      rebalance = true;
+    } else if (std::strcmp(argv[i], "--expect-rebalance") == 0) {
+      expect_rebalance = true;
+    } else if (std::strncmp(argv[i], "--expect-rebalance=", 19) == 0) {
+      expect_rebalance = true;
+      expect_rank = std::atoi(argv[i] + 19);
     } else if (std::strcmp(argv[i], "--env") == 0) {
       std::printf("%s", jitfd::env::describe().c_str());
       return 0;
@@ -151,6 +373,12 @@ int main(int argc, char** argv) {
     } else {
       nranks = std::atoi(argv[i]);
     }
+  }
+  if (!autotune_path.empty()) {
+    return run_autotune(nranks, launch_opts, autotune_path, objective);
+  }
+  if (rebalance) {
+    return run_rebalance(nranks, launch_opts, expect_rebalance, expect_rank);
   }
   const bool trace = !trace_path.empty();
   if (!metrics_path.empty()) {

@@ -2,8 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <fstream>
 #include <set>
+#include <sstream>
 
+#include "core/env.h"
+#include "obs/analysis.h"
 #include "symbolic/manip.h"
 
 namespace jitfd::core {
@@ -55,14 +60,12 @@ std::vector<std::vector<std::int64_t>> tile_candidates(
   // dim-0 block of T spans T * mid-extents rows, so divide out.
   std::int64_t rows = 1;
   for (int d = 1; d < nd - 1; ++d) {
-    rows *= grid.shape()[static_cast<std::size_t>(d)] /
-            std::max<std::int64_t>(1, grid.topology()[static_cast<std::size_t>(d)]);
+    rows *= grid.min_local_size(d);
   }
   constexpr std::int64_t kCacheBytes = 1 << 25;  // nominal 32 MiB LLC share
   const std::int64_t fit =
       row_bytes > 0 && rows > 0 ? kCacheBytes / (row_bytes * rows) : 0;
-  const std::int64_t min_ext =
-      grid.shape()[0] / std::max<std::int64_t>(1, grid.topology()[0]);
+  const std::int64_t min_ext = grid.min_local_size(0);
   for (std::int64_t t : {fit, fit / 2}) {
     t = std::min(t, min_ext / 2);  // at least two blocks, else untiled wins
     if (t < 2) {
@@ -77,21 +80,293 @@ std::vector<std::vector<std::int64_t>> tile_candidates(
   return cands;
 }
 
+std::string tile_text(const std::vector<std::int64_t>& tile) {
+  if (tile.empty() ||
+      std::all_of(tile.begin(), tile.end(),
+                  [](std::int64_t t) { return t == 0; })) {
+    return "untiled";
+  }
+  std::string out = "tile ";
+  for (std::size_t i = 0; i < tile.size(); ++i) {
+    out += (i > 0 ? "," : "") + std::to_string(tile[i]);
+  }
+  return out;
+}
+
+std::string trial_text(const AutotuneReport::TrialKey& key) {
+  std::ostringstream os;
+  os << ir::to_string(std::get<0>(key)) << " depth " << std::get<1>(key)
+     << " " << tile_text(std::get<2>(key));
+  return os.str();
+}
+
+/// Build the rank-uniform AnalysisScore of one traced trial. Each rank
+/// analyzes only its OWN events (under process_shm a live run never
+/// sees peer traces — those merge after launch returns — so restricting
+/// to the local rank makes both transports behave identically), then
+/// the scalar totals are allreduced.
+AnalysisScore score_trial(const obs::TraceHandle& handle,
+                          const smpi::Communicator& comm) {
+  obs::TraceData own;
+  if (handle.active()) {
+    for (const obs::TraceData::Rec& e : handle.data().events) {
+      if (e.rank == comm.rank()) {
+        own.events.push_back(e);
+      }
+    }
+  }
+  const obs::AnalysisReport local = obs::analyze(own);
+  double own_wait = 0.0;
+  for (const obs::RankWaitStats& w : local.rank_waits) {
+    own_wait += w.wait_s;
+  }
+  const double own_compute = local.max_compute_s;  // single-rank report
+  std::vector<double> sums{own_wait, local.redundant_compute_s,
+                           local.overlap_window_s, local.overlap_hidden_s,
+                           own_compute};
+  comm.allreduce(std::span<double>(sums), smpi::ReduceOp::Sum);
+  std::vector<double> max_compute{own_compute};
+  comm.allreduce(std::span<double>(max_compute), smpi::ReduceOp::Max);
+  // Critical rank: every rank proposes itself iff it holds the max
+  // (bitwise — max_compute is a copy of one rank's value), then the
+  // proposals max-reduce to the highest agreeing rank id.
+  std::vector<std::int64_t> crit{
+      own_compute >= max_compute[0] ? comm.rank() : -1};
+  comm.allreduce(std::span<std::int64_t>(crit), smpi::ReduceOp::Max);
+
+  const int n = comm.size();
+  AnalysisScore sc;
+  sc.wait_s = sums[0];
+  sc.redundant_s = sums[1];
+  if (sums[2] > 0.0) {
+    sc.overlap_efficiency = std::clamp(sums[3] / sums[2], 0.0, 1.0);
+  }
+  const double mean_compute = n > 0 ? sums[4] / n : 0.0;
+  if (mean_compute > 0.0) {
+    sc.imbalance_ratio = max_compute[0] / mean_compute;
+  }
+  sc.critical_rank = static_cast<int>(crit[0]);
+  sc.imbalance_penalty_s = std::max(max_compute[0] - mean_compute, 0.0);
+  sc.attributed_cost_s =
+      (n > 0 ? (sc.wait_s + sc.redundant_s) / n : 0.0) +
+      sc.imbalance_penalty_s;
+  return sc;
+}
+
+Objective resolve_objective(Objective requested) {
+  if (requested != Objective::FromEnv) {
+    return requested;
+  }
+  return env::get_enum("JITFD_AUTOTUNE_OBJECTIVE", "wall",
+                       {"wall", "attributed"}) == "attributed"
+             ? Objective::Attributed
+             : Objective::Wall;
+}
+
+void put(std::ostringstream& os, double v) {
+  if (!std::isfinite(v)) {
+    v = 0.0;
+  }
+  std::ostringstream tmp;
+  tmp.precision(9);
+  tmp << v;
+  os << tmp.str();
+}
+
+void put_key(std::ostringstream& os, const AutotuneReport::TrialKey& key) {
+  os << "\"mode\": \"" << ir::to_string(std::get<0>(key)) << "\", \"depth\": "
+     << std::get<1>(key) << ", \"tile\": [";
+  const std::vector<std::int64_t>& tile = std::get<2>(key);
+  for (std::size_t i = 0; i < tile.size(); ++i) {
+    os << (i > 0 ? ", " : "") << tile[i];
+  }
+  os << "]";
+}
+
 }  // namespace
+
+AttributedChoice choose_attributed(
+    const std::map<AutotuneReport::TrialKey, AnalysisScore>& scores,
+    int nranks) {
+  AttributedChoice choice;
+  if (scores.empty()) {
+    choice.why = "attributed objective: no scored trials";
+    return choice;
+  }
+  const auto* best = &*scores.begin();
+  for (const auto& entry : scores) {
+    if (entry.second.attributed_cost_s < best->second.attributed_cost_s) {
+      best = &entry;
+    }
+  }
+  choice.best = best->first;
+  // Runner-up: the cheapest of the others, for the decisive-term diff.
+  const std::pair<const AutotuneReport::TrialKey, AnalysisScore>* runner =
+      nullptr;
+  for (const auto& entry : scores) {
+    if (&entry == best) {
+      continue;
+    }
+    if (runner == nullptr ||
+        entry.second.attributed_cost_s < runner->second.attributed_cost_s) {
+      runner = &entry;
+    }
+  }
+  std::ostringstream os;
+  os << "attributed objective: " << trial_text(best->first) << " wins";
+  if (runner == nullptr) {
+    os << " as the only scored candidate (cost ";
+    put(os, best->second.attributed_cost_s);
+    os << " s)";
+    choice.why = os.str();
+    return choice;
+  }
+  // Which cost term gave the winner its edge over the runner-up?
+  const double per_rank = nranks > 0 ? 1.0 / nranks : 1.0;
+  const double d_wait =
+      (runner->second.wait_s - best->second.wait_s) * per_rank;
+  const double d_redundant =
+      (runner->second.redundant_s - best->second.redundant_s) * per_rank;
+  const double d_imbalance =
+      runner->second.imbalance_penalty_s - best->second.imbalance_penalty_s;
+  const char* term = "attributed cost";
+  double delta = 0.0;
+  if (d_wait > delta) {
+    term = "wait";
+    delta = d_wait;
+  }
+  if (d_redundant > delta) {
+    term = "redundant compute";
+    delta = d_redundant;
+  }
+  if (d_imbalance > delta) {
+    term = "imbalance penalty";
+    delta = d_imbalance;
+  }
+  os << " on " << term << " (cost ";
+  put(os, best->second.attributed_cost_s);
+  os << " s vs ";
+  put(os, runner->second.attributed_cost_s);
+  os << " s for " << trial_text(runner->first) << ")";
+  choice.why = os.str();
+  return choice;
+}
+
+std::string autotune_report_json(const AutotuneReport& r) {
+  std::ostringstream os;
+  const bool attributed = r.objective == Objective::Attributed;
+  os << "{\n\"autotune\": {\n";
+  os << "  \"objective\": \"" << (attributed ? "attributed" : "wall")
+     << "\",\n";
+  std::string why = r.why;
+  std::string escaped;
+  for (const char c : why) {
+    if (c == '"' || c == '\\') {
+      escaped += '\\';
+    }
+    escaped += c;
+  }
+  os << "  \"why\": \"" << escaped << "\",\n";
+  os << "  \"trial_steps\": " << r.trial_steps << ",\n";
+  os << "  \"best\": {";
+  put_key(os, {r.best, r.best_depth, r.best_tile});
+  os << "},\n";
+  os << "  \"rebalance\": {\"recommended\": "
+     << (r.rebalance_recommended ? "true" : "false")
+     << ", \"rank\": " << r.rebalance_rank << ", \"threshold\": ";
+  put(os, r.rebalance_threshold);
+  os << "},\n";
+  os << "  \"trials\": [";
+  bool first = true;
+  for (const auto& [key, secs] : r.seconds_by_depth) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "    {";
+    put_key(os, key);
+    os << ", \"seconds\": ";
+    put(os, secs);
+    const auto sit = r.scores.find(key);
+    if (attributed && sit != r.scores.end()) {
+      const AnalysisScore& sc = sit->second;
+      os << ", \"score\": {\"wait_seconds\": ";
+      put(os, sc.wait_s);
+      os << ", \"overlap_efficiency\": ";
+      put(os, sc.overlap_efficiency);
+      os << ", \"imbalance_ratio\": ";
+      put(os, sc.imbalance_ratio);
+      os << ", \"critical_rank\": " << sc.critical_rank;
+      os << ", \"redundant_seconds\": ";
+      put(os, sc.redundant_s);
+      os << ", \"imbalance_penalty_seconds\": ";
+      put(os, sc.imbalance_penalty_s);
+      os << ", \"attributed_cost_seconds\": ";
+      put(os, sc.attributed_cost_s);
+      os << "}";
+    }
+    os << "}";
+  }
+  os << "\n  ],\n";
+  os << "  \"skipped\": [";
+  first = true;
+  for (const auto& [key, reason] : r.skipped) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "    {";
+    put_key(os, key);
+    std::string esc;
+    for (const char c : reason) {
+      if (c == '"' || c == '\\') {
+        esc += '\\';
+      }
+      esc += c;
+    }
+    os << ", \"reason\": \"" << esc << "\"}";
+  }
+  os << "\n  ]\n}\n}\n";
+  return os.str();
+}
+
+bool write_autotune_file(const std::string& path,
+                         const AutotuneReport& report) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return false;
+  }
+  out << autotune_report_json(report);
+  return static_cast<bool>(out);
+}
 
 std::unique_ptr<Operator> autotune_operator(
     const std::vector<ir::Eq>& eqs, ir::CompileOptions opts,
     const std::map<std::string, double>& scalars, std::int64_t time_m,
     int trial_steps, AutotuneReport* report,
-    std::vector<runtime::SparseOp*> sparse_ops) {
+    std::vector<runtime::SparseOp*> sparse_ops, Objective objective) {
   const std::vector<grid::Function*> fields = fields_of(eqs);
   const grid::Grid& grid = fields.front()->grid();
 
   AutotuneReport local_report;
   local_report.trial_steps = trial_steps;
+  local_report.rebalance_threshold =
+      env::get_float("JITFD_REBALANCE_THRESHOLD", 1.25);
+  Objective resolved = resolve_objective(objective);
+#ifdef JITFD_OBS_DISABLED
+  const bool obs_available = false;
+#else
+  const bool obs_available = true;
+#endif
+  std::string fallback_note;
+  if (resolved == Objective::Attributed && !obs_available) {
+    resolved = Objective::Wall;
+    fallback_note =
+        " (attributed objective requested, but tracing is compiled out: "
+        "fell back to wall-clock)";
+  }
+  local_report.objective = resolved;
+  const bool attributed = resolved == Objective::Attributed;
 
   if (!grid.distributed()) {
     opts.mode = ir::MpiMode::None;
+    local_report.why = "serial grid: no distributed trials, mode none";
     if (report != nullptr) {
       *report = local_report;
     }
@@ -166,10 +441,19 @@ std::unique_ptr<Operator> autotune_operator(
           continue;
         }
         comm.barrier();
+        if (attributed) {
+          // Quiescent point (behind the barrier): drop earlier events so
+          // this trial's analysis sees only its own spans. Under
+          // process_shm every process resets its own registry; under
+          // threads the concurrent resets hit one mutex-guarded registry.
+          obs::reset();
+          comm.barrier();
+        }
         const auto start = std::chrono::steady_clock::now();
-        trial.apply({.time_m = time_m,
-                     .time_M = time_m + trial_steps - 1,
-                     .scalars = scalars});
+        const RunSummary run = trial.apply({.time_m = time_m,
+                                            .time_M = time_m + trial_steps - 1,
+                                            .scalars = scalars,
+                                            .trace = attributed});
         std::vector<double> elapsed{
             std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                           start)
@@ -177,6 +461,9 @@ std::unique_ptr<Operator> autotune_operator(
         // The slowest rank gates a synchronous time step.
         comm.allreduce(std::span<double>(elapsed), smpi::ReduceOp::Max);
         local_report.seconds_by_depth[eff_key] = elapsed[0];
+        if (attributed) {
+          local_report.scores[eff_key] = score_trial(run.trace, comm);
+        }
         const auto mode_it = local_report.seconds.find(mode);
         if (mode_it == local_report.seconds.end() ||
             elapsed[0] < mode_it->second) {
@@ -192,6 +479,51 @@ std::unique_ptr<Operator> autotune_operator(
         restore();
       }
     }
+  }
+  if (attributed) {
+    // Leave no trial events behind: the caller's next traced run starts
+    // from a clean registry.
+    comm.barrier();
+    obs::reset();
+    comm.barrier();
+  }
+
+  if (attributed && !local_report.scores.empty()) {
+    const AttributedChoice choice =
+        choose_attributed(local_report.scores, comm.size());
+    local_report.best = std::get<0>(choice.best);
+    local_report.best_depth = std::get<1>(choice.best);
+    local_report.best_tile = std::get<2>(choice.best);
+    local_report.why = choice.why;
+    // Persistent imbalance: every scored trial crossed the threshold
+    // and blamed the same rank — the skew is the domain's, not one
+    // pattern's, so recommend a biased split.
+    bool persistent = true;
+    int stable_rank = local_report.scores.begin()->second.critical_rank;
+    for (const auto& [key, sc] : local_report.scores) {
+      if (sc.imbalance_ratio < local_report.rebalance_threshold ||
+          sc.critical_rank != stable_rank || sc.critical_rank < 0) {
+        persistent = false;
+        break;
+      }
+    }
+    if (persistent) {
+      local_report.rebalance_recommended = true;
+      local_report.rebalance_rank = stable_rank;
+      local_report.why +=
+          "; persistent imbalance on rank " + std::to_string(stable_rank) +
+          " (rebalance recommended)";
+    }
+  } else {
+    std::ostringstream os;
+    os << "wall objective: "
+       << trial_text(
+              {local_report.best, local_report.best_depth,
+               local_report.best_tile})
+       << " fastest at ";
+    put(os, best_seconds);
+    os << " s" << fallback_note;
+    local_report.why = os.str();
   }
 
   opts.mode = local_report.best;

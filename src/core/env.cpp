@@ -12,6 +12,9 @@ namespace {
 // The single documented table. Keep sorted by name; README.md mirrors
 // this list and `quickstart --env` renders it.
 const Var kVars[] = {
+    {"JITFD_AUTOTUNE_OBJECTIVE", "enum(wall|attributed)", "wall",
+     "Autotuner scoring objective: raw wall-clock seconds, or attributed "
+     "cost (wait + redundant compute + imbalance penalty) from tracing"},
     {"JITFD_CACHE_DIR", "string", "unset",
      "Persistent JIT compile cache directory shared across processes "
      "(unset: per-process scratch dir under $TMPDIR, removed at exit)"},
@@ -42,6 +45,9 @@ const Var kVars[] = {
     {"JITFD_MPI", "enum(none|basic|diagonal|full)", "basic",
      "Halo-exchange pattern for distributed Operators that leave "
      "CompileOptions::mode unset (DEVITO_MPI analogue)"},
+    {"JITFD_REBALANCE_THRESHOLD", "float", "1.25",
+     "Imbalance ratio (max/mean compute) above which autotune recommends "
+     "and Grid::plan_rebalance computes a biased domain split"},
     {"JITFD_SHM_RING_KB", "int", "256",
      "Per-direction shared-memory ring capacity in KiB for the "
      "process_shm transport (rounded to a power of two)"},
@@ -143,6 +149,24 @@ std::int64_t get_int(const char* name, std::int64_t def) {
   } catch (const std::exception&) {
     throw std::invalid_argument(std::string(name) + "='" + *v +
                                 "': expected an integer");
+  }
+}
+
+double get_float(const char* name, double def) {
+  const auto v = raw(name);
+  if (!v.has_value()) {
+    return def;
+  }
+  try {
+    std::size_t end = 0;
+    const double out = std::stod(*v, &end);
+    if (end != v->size()) {
+      throw std::invalid_argument("");
+    }
+    return out;
+  } catch (const std::exception&) {
+    throw std::invalid_argument(std::string(name) + "='" + *v +
+                                "': expected a floating-point number");
   }
 }
 

@@ -551,8 +551,7 @@ std::vector<std::int64_t> plan_tiling(const CompileOptions& opts,
     if (tile[ud] == 0) {
       continue;
     }
-    const std::int64_t min_ext =
-        grid.shape()[ud] / std::max(1, grid.topology()[ud]);
+    const std::int64_t min_ext = grid.min_local_size(d);
     if (tile[ud] >= min_ext) {
       note("tile " + std::to_string(tile[ud]) +
            " covers the smallest rank-local extent " +

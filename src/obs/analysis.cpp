@@ -179,11 +179,14 @@ AnalysisReport analyze(const TraceData& data) {
   double total_compute = 0.0;
   for (const RankProfile& r : prof.ranks) {
     total_compute += r.compute_s;
+    rep.rank_loads.push_back({r.rank, r.compute_s});
     if (r.compute_s > rep.max_compute_s) {
       rep.max_compute_s = r.compute_s;
       rep.critical_path_rank = r.rank;
     }
   }
+  std::sort(rep.rank_loads.begin(), rep.rank_loads.end(),
+            [](const RankLoad& a, const RankLoad& b) { return a.rank < b.rank; });
   if (rep.nranks > 0) {
     rep.mean_compute_s = total_compute / rep.nranks;
   }
@@ -318,7 +321,16 @@ std::string analysis_json(const AnalysisReport& r) {
   os << ",\n    \"ratio\": ";
   put(os, r.imbalance_ratio);
   os << ",\n    \"critical_rank\": " << r.critical_path_rank;
-  os << ",\n    \"steps\": [";
+  os << ",\n    \"ranks\": [";
+  first = true;
+  for (const RankLoad& rl : r.rank_loads) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "      {\"rank\": " << rl.rank << ", \"compute_seconds\": ";
+    put(os, rl.compute_s);
+    os << "}";
+  }
+  os << "\n    ],\n    \"steps\": [";
   first = true;
   for (const StepLoad& sl : r.step_loads) {
     os << (first ? "\n" : ",\n");

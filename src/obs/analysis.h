@@ -44,6 +44,13 @@ struct RankWaitStats {
   double blamed_s = 0.0;  ///< Late-sender wait *other* ranks spent on us.
 };
 
+/// Per-rank compute load, the raw material for imbalance-aware
+/// decomposition (Grid::plan_rebalance consumes these).
+struct RankLoad {
+  int rank = 0;
+  double compute_s = 0.0;  ///< Total compute seconds on this rank.
+};
+
 /// Per-timestep compute load across ranks (interpreter runs only; JIT
 /// loops carry no per-step compute spans).
 struct StepLoad {
@@ -82,6 +89,7 @@ struct AnalysisReport {
   double mean_compute_s = 0.0;
   double imbalance_ratio = 0.0;  ///< max / mean; 1.0 is perfectly balanced.
   int critical_path_rank = -1;
+  std::vector<RankLoad> rank_loads;  ///< Per-rank compute totals, by rank.
   std::vector<StepLoad> step_loads;
 
   // -- Deep-halo strip accounting --------------------------------------

@@ -545,6 +545,17 @@ SchemaCheck validate_analysis_json(std::string_view json) {
       return out;
     }
   }
+  const JsonValue* loads = want_arr(*imb, "ranks", out.error, "\"imbalance\"");
+  if (loads == nullptr) {
+    return out;
+  }
+  for (const JsonValue& r : loads->arr) {
+    for (const char* key : {"rank", "compute_seconds"}) {
+      if (!want_num(r, key, out.error, "imbalance rank row")) {
+        return out;
+      }
+    }
+  }
   const JsonValue* steps = want_arr(*imb, "steps", out.error, "\"imbalance\"");
   if (steps == nullptr) {
     return out;
@@ -568,6 +579,128 @@ SchemaCheck validate_analysis_json(std::string_view json) {
     }
   }
   ++out.items;
+  out.ok = true;
+  return out;
+}
+
+namespace {
+
+// One (mode, depth, tile) row shared by autotune "trials" and "best".
+bool check_autotune_key(const JsonValue& row, SchemaCheck& out,
+                        const std::string& where) {
+  const JsonValue* mode = row.find("mode");
+  if (row.type != JsonValue::Type::Obj || mode == nullptr ||
+      mode->type != JsonValue::Type::Str || mode->str.empty()) {
+    out.error = where + " missing string \"mode\"";
+    return false;
+  }
+  if (!want_num(row, "depth", out.error, where)) {
+    return false;
+  }
+  const JsonValue* tile = want_arr(row, "tile", out.error, where);
+  if (tile == nullptr) {
+    return false;
+  }
+  for (const JsonValue& t : tile->arr) {
+    if (t.type != JsonValue::Type::Num) {
+      out.error = where + " has a non-numeric tile entry";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+SchemaCheck validate_autotune_json(std::string_view json) {
+  SchemaCheck out;
+  JsonValue root;
+  if (!json_parse(json, root, &out.error)) {
+    return out;
+  }
+  if (root.type != JsonValue::Type::Obj) {
+    out.error = "top level is not an object";
+    return out;
+  }
+  const JsonValue* a = want_obj(root, "autotune", out.error, "document");
+  if (a == nullptr) {
+    return out;
+  }
+  const JsonValue* objective = a->find("objective");
+  if (objective == nullptr || objective->type != JsonValue::Type::Str ||
+      (objective->str != "wall" && objective->str != "attributed")) {
+    out.error = "\"autotune\" objective must be \"wall\" or \"attributed\"";
+    return out;
+  }
+  const JsonValue* why = a->find("why");
+  if (why == nullptr || why->type != JsonValue::Type::Str ||
+      why->str.empty()) {
+    out.error = "\"autotune\" missing non-empty string \"why\"";
+    return out;
+  }
+  const JsonValue* best = want_obj(*a, "best", out.error, "\"autotune\"");
+  if (best == nullptr || !check_autotune_key(*best, out, "\"best\"")) {
+    return out;
+  }
+  const JsonValue* reb = want_obj(*a, "rebalance", out.error, "\"autotune\"");
+  if (reb == nullptr) {
+    return out;
+  }
+  const JsonValue* rec = reb->find("recommended");
+  if (rec == nullptr || rec->type != JsonValue::Type::Bool) {
+    out.error = "\"rebalance\" missing boolean \"recommended\"";
+    return out;
+  }
+  if (!want_num(*reb, "rank", out.error, "\"rebalance\"") ||
+      !want_num(*reb, "threshold", out.error, "\"rebalance\"")) {
+    return out;
+  }
+  const JsonValue* trials = want_arr(*a, "trials", out.error, "\"autotune\"");
+  if (trials == nullptr) {
+    return out;
+  }
+  const bool attributed = objective->str == "attributed";
+  for (const JsonValue& t : trials->arr) {
+    if (!check_autotune_key(t, out, "trial row") ||
+        !want_num(t, "seconds", out.error, "trial row")) {
+      return out;
+    }
+    if (attributed) {
+      const JsonValue* score = want_obj(t, "score", out.error, "trial row");
+      if (score == nullptr) {
+        return out;
+      }
+      for (const char* key :
+           {"wait_seconds", "overlap_efficiency", "imbalance_ratio",
+            "critical_rank", "redundant_seconds",
+            "imbalance_penalty_seconds", "attributed_cost_seconds"}) {
+        if (!want_num(*score, key, out.error, "trial score")) {
+          return out;
+        }
+      }
+      const JsonValue* eff = score->find("overlap_efficiency");
+      if (eff->num < 0.0 || eff->num > 1.0) {
+        out.error = "trial score overlap_efficiency outside [0, 1]";
+        return out;
+      }
+    }
+    ++out.items;
+  }
+  const JsonValue* skipped = want_arr(*a, "skipped", out.error, "\"autotune\"");
+  if (skipped == nullptr) {
+    return out;
+  }
+  for (const JsonValue& s : skipped->arr) {
+    if (!check_autotune_key(s, out, "skipped row")) {
+      return out;
+    }
+    const JsonValue* reason = s.find("reason");
+    if (reason == nullptr || reason->type != JsonValue::Type::Str ||
+        reason->str.empty()) {
+      out.error = "skipped row missing non-empty string \"reason\"";
+      return out;
+    }
+  }
   out.ok = true;
   return out;
 }

@@ -86,6 +86,14 @@ SchemaCheck validate_metrics_json(std::string_view json);
 /// included).
 SchemaCheck validate_analysis_json(std::string_view json);
 
+/// Check the core::autotune_report_json() schema: a top-level "autotune"
+/// object with an "objective" of wall|attributed, a non-empty decision
+/// string "why", a "best" (mode, depth, tile) row, a "rebalance"
+/// recommendation, "trials" rows (each carrying the full AnalysisScore
+/// under the attributed objective), and "skipped" rows with non-empty
+/// clamp reasons. items counts trials.
+SchemaCheck validate_autotune_json(std::string_view json);
+
 /// Check the obs::events::to_json() schema: a top-level object with an
 /// "events" array (entries carry string "name"/"cat", numeric
 /// "rank"/"step"/"t_ns", and a "kv" object of numeric values) and a

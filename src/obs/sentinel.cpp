@@ -12,16 +12,22 @@ namespace jitfd::obs {
 
 namespace {
 
+struct DriftEntry {
+  double value = 0.0;  ///< |measured - predicted| of a perfmodel metric.
+  double band = 0.0;   ///< Allowed drift (the baseline's is the contract).
+};
+
 struct Series {
   double median_seconds = 0.0;
   double spread_pct = 0.0;
   std::map<std::string, double> counters;
+  std::map<std::string, DriftEntry> drift;
 };
 
 // Fields of a series entry that are not free-form counters.
 bool reserved_key(const std::string& k) {
   return k == "name" || k == "repetitions" || k == "median_seconds" ||
-         k == "spread_pct";
+         k == "spread_pct" || k == "drift";
 }
 
 bool load_series(std::string_view json, std::map<std::string, Series>& out,
@@ -60,6 +66,22 @@ bool load_series(std::string_view json, std::map<std::string, Series>& out,
     for (const auto& [k, v] : s.obj) {
       if (!reserved_key(k) && v.type == JsonValue::Type::Num) {
         entry.counters[k] = v.num;
+      }
+    }
+    if (const JsonValue* drift = s.find("drift");
+        drift != nullptr && drift->type == JsonValue::Type::Obj) {
+      for (const auto& [metric, g] : drift->obj) {
+        const JsonValue* value = g.find("value");
+        const JsonValue* band = g.find("band");
+        if (g.type != JsonValue::Type::Obj || value == nullptr ||
+            value->type != JsonValue::Type::Num || band == nullptr ||
+            band->type != JsonValue::Type::Num) {
+          err = std::string(label) + ": series \"" + name->str +
+                "\" drift metric \"" + metric +
+                "\" missing numeric \"value\"/\"band\"";
+          return false;
+        }
+        entry.drift[metric] = {value->num, band->num};
       }
     }
     out[name->str] = std::move(entry);
@@ -148,6 +170,32 @@ SentinelResult sentinel_compare(std::string_view baseline_json,
                             std::to_string(base.counters.size()) +
                             " counters match");
       }
+    }
+
+    // Drift gates: the committed band is the perfmodel contract; the
+    // fresh measurement must stay inside it even when total time passed.
+    bool drift_ok = true;
+    for (const auto& [metric, gate] : base.drift) {
+      const auto dit = f.drift.find(metric);
+      if (dit == f.drift.end()) {
+        res.failures.push_back("series \"" + name + "\" lost drift metric \"" +
+                               metric + "\"");
+        drift_ok = false;
+        continue;
+      }
+      const double fresh_drift = dit->second.value + opts.drift_shift;
+      if (fresh_drift > gate.band) {
+        res.failures.push_back(
+            "series \"" + name + "\" drift metric \"" + metric +
+            "\" left the perfmodel band: drift " + fmt(fresh_drift) +
+            " vs committed band " + fmt(gate.band));
+        drift_ok = false;
+      }
+    }
+    if (drift_ok && !base.drift.empty()) {
+      res.notes.push_back("series \"" + name + "\": " +
+                          std::to_string(base.drift.size()) +
+                          " drift gates inside their bands");
     }
   }
 

@@ -14,7 +14,13 @@
 //    check (too fast to time reliably) but still check counters;
 //  * machine-independent counters (any extra numeric field next to
 //    median_seconds: message counts, bytes, exchanges) must match
-//    within counter_tolerance_pct — 0 means exactly.
+//    within counter_tolerance_pct — 0 means exactly;
+//  * drift gates (an optional "drift" object per series: metric ->
+//    {value, band}) check the fresh |measured - predicted| drift of a
+//    perfmodel metric against the band committed in the BASELINE — the
+//    model is the contract, so the fresh run must stay inside the
+//    committed band regardless of what the fresh band says. A drift
+//    metric missing from the fresh report is a failure.
 //
 // This is a library (tools/perf_sentinel is a thin CLI) so the rules
 // themselves are unit-tested, including the injected-slowdown self-test
@@ -33,6 +39,9 @@ struct SentinelOptions {
   double scale_fresh = 1.0;     ///< Multiplier on fresh medians (self-test).
   bool check_counters = true;
   double counter_tolerance_pct = 0.0;
+  /// Added to every fresh drift value (injected-regression self-test,
+  /// the drift analogue of scale_fresh).
+  double drift_shift = 0.0;
 };
 
 struct SentinelResult {

@@ -1,6 +1,7 @@
 #include "perfmodel/compare.h"
 
 #include <algorithm>
+#include <cmath>
 #include <iomanip>
 #include <sstream>
 
@@ -214,6 +215,39 @@ std::string tile_str(const std::vector<std::int64_t>& tile) {
 }
 
 }  // namespace
+
+std::vector<DriftGate> drift_gates(const Comparison& row,
+                                   const DriftBands& bands) {
+  std::vector<DriftGate> gates;
+  const auto push = [&gates](const std::string& metric, double measured,
+                             double predicted, double band) {
+    DriftGate g;
+    g.metric = metric;
+    g.measured = measured;
+    g.predicted = predicted;
+    g.drift = std::abs(measured - predicted);
+    g.band = band;
+    g.ok = g.drift <= band;
+    gates.push_back(std::move(g));
+  };
+  if (row.measured.has_analysis) {
+    push("overlap_efficiency", row.measured.overlap_efficiency,
+         row.predicted_overlap_efficiency, bands.overlap_efficiency);
+  }
+  push("comm_fraction", row.measured.comm_fraction,
+       row.predicted_comm_fraction, bands.comm_fraction);
+  const double measured_share =
+      row.measured_step_seconds > 0.0
+          ? row.measured_redundant_step_seconds / row.measured_step_seconds
+          : 0.0;
+  const double predicted_share =
+      row.predicted_step_seconds > 0.0
+          ? row.predicted_redundant_step_seconds / row.predicted_step_seconds
+          : 0.0;
+  push("redundant_share", measured_share, predicted_share,
+       bands.redundant_share);
+  return gates;
+}
 
 std::string comparison_table(const std::vector<Comparison>& rows) {
   std::ostringstream os;

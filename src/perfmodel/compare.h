@@ -126,6 +126,36 @@ Comparison compare_run(const MeasuredRun& measured, const ScalingModel& model,
                        int exchanges_per_step = 1,
                        std::int64_t domain_edge = 0);
 
+/// Allowed |measured - predicted| drift per gated metric (absolute, in
+/// each metric's own unit: efficiencies and fractions are 0..1 shares).
+/// These bands are the committed perfmodel contract the drift sentinel
+/// enforces in CI — a run can pass its total-time gate yet fail here
+/// when, say, overlap collapses but compute happens to be faster.
+struct DriftBands {
+  double overlap_efficiency = 0.25;
+  double comm_fraction = 0.25;
+  double redundant_share = 0.25;
+};
+
+/// One model-vs-measured drift gate evaluated from a Comparison row.
+struct DriftGate {
+  std::string metric;      ///< "overlap_efficiency" | "comm_fraction" | ...
+  double measured = 0.0;
+  double predicted = 0.0;
+  double drift = 0.0;      ///< |measured - predicted|.
+  double band = 0.0;       ///< Allowed drift.
+  bool ok = false;         ///< drift <= band.
+};
+
+/// Evaluate the three drift gates for one comparison row: overlap
+/// efficiency (needs measured analysis data; skipped — no gate emitted —
+/// when the row carries none), communication fraction, and the
+/// redundant-compute share of a step. Callers fold the resulting
+/// `drift` values into a bench series (bench_util.h) so the sentinel
+/// gates them against committed bands.
+std::vector<DriftGate> drift_gates(const Comparison& row,
+                                   const DriftBands& bands = {});
+
 /// Human-readable table, one row per pattern.
 std::string comparison_table(const std::vector<Comparison>& rows);
 

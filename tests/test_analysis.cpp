@@ -206,6 +206,32 @@ TEST(Analysis, ImbalanceFindsCriticalRankPerStepAndOverall) {
   EXPECT_NEAR(rep.step_loads[0].mean_compute_s, 450 * kNs, 1e-12);
 }
 
+TEST(Analysis, RankLoadsExportedPerRankAndSorted) {
+  // Three ranks with distinct compute: the report must carry one load
+  // per rank, sorted by rank, with exact seconds — this is the feed for
+  // Grid::plan_rebalance and the quickstart --rebalance loop.
+  obs::TraceData data;
+  data.events.push_back(rec("compute", obs::Cat::Compute, 2, 0, 900, 0));
+  data.events.push_back(rec("compute", obs::Cat::Compute, 0, 0, 300, 0));
+  data.events.push_back(rec("compute", obs::Cat::Compute, 1, 0, 600, 0));
+  const obs::AnalysisReport rep = obs::analyze(data);
+  ASSERT_EQ(rep.rank_loads.size(), 3U);
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_EQ(rep.rank_loads[static_cast<std::size_t>(r)].rank, r);
+  }
+  EXPECT_NEAR(rep.rank_loads[0].compute_s, 300 * kNs, 1e-12);
+  EXPECT_NEAR(rep.rank_loads[1].compute_s, 600 * kNs, 1e-12);
+  EXPECT_NEAR(rep.rank_loads[2].compute_s, 900 * kNs, 1e-12);
+
+  // The JSON export nests the per-rank loads inside "imbalance", and
+  // the validator requires them.
+  const std::string json = obs::analysis_json(rep);
+  EXPECT_NE(json.find("\"ranks\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"compute_seconds\":"), std::string::npos) << json;
+  EXPECT_TRUE(obs::validate_analysis_json(json).ok)
+      << obs::validate_analysis_json(json).error;
+}
+
 TEST(Analysis, JitComputeDerivedFromRunUmbrellaMinusHalo) {
   // A JIT rank records no compute spans; its compute is the jit.run
   // umbrella (1000 ns) minus the nested halo umbrellas (150 ns).
@@ -489,6 +515,66 @@ TEST(Sentinel, CounterToleranceAndOptOut) {
 }
 
 // ---------------------------------------------------------------------
+// Drift sentinels: model-vs-measured gates with committed bands.
+// ---------------------------------------------------------------------
+
+std::string drift_report(double value, double band) {
+  std::ostringstream os;
+  os << R"({"benchmark": "drift", "series": [{"name": "full", )"
+     << "\"repetitions\": 1, \"median_seconds\": 0.01, "
+     << "\"drift\": {\"comm_fraction\": {\"value\": " << value
+     << ", \"band\": " << band << "}}}]}";
+  return os.str();
+}
+
+TEST(Sentinel, DriftGatesHoldFreshInsideCommittedBand) {
+  // The BASELINE's band is the contract; the fresh file's own band is
+  // ignored (a fresh run cannot loosen the committed contract).
+  const std::string base = drift_report(0.10, 0.20);
+  EXPECT_TRUE(obs::sentinel_compare(base, drift_report(0.15, 0.20)).ok);
+  const obs::SentinelResult wide =
+      obs::sentinel_compare(base, drift_report(0.25, 99.0));
+  EXPECT_FALSE(wide.ok);
+  ASSERT_EQ(wide.failures.size(), 1U);
+  EXPECT_NE(wide.failures[0].find("left the perfmodel band"),
+            std::string::npos)
+      << wide.report();
+}
+
+TEST(Sentinel, DriftShiftSelfTestTripsTheGate) {
+  // CI's injected-regression self-test: identical reports must fail
+  // once the fresh drift is shifted past the committed band.
+  const std::string doc = drift_report(0.10, 0.20);
+  obs::SentinelOptions opts;
+  EXPECT_TRUE(obs::sentinel_compare(doc, doc, opts).ok);
+  opts.drift_shift = 0.15;  // 0.10 + 0.15 > 0.20.
+  const obs::SentinelResult res = obs::sentinel_compare(doc, doc, opts);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.report().find("left the perfmodel band"), std::string::npos)
+      << res.report();
+}
+
+TEST(Sentinel, LostDriftMetricFails) {
+  // Coverage only grows: a drift metric present in the baseline must
+  // stay in the fresh report.
+  const std::string base = drift_report(0.10, 0.20);
+  const std::string fresh =
+      R"({"series": [{"name": "full", "median_seconds": 0.01}]})";
+  const obs::SentinelResult res = obs::sentinel_compare(base, fresh);
+  EXPECT_FALSE(res.ok);
+  ASSERT_EQ(res.failures.size(), 1U);
+  EXPECT_NE(res.failures[0].find("lost drift metric"), std::string::npos);
+
+  // A malformed drift entry is a schema error, not a regression.
+  const std::string broken =
+      R"({"series": [{"name": "full", "median_seconds": 0.01, )"
+      R"("drift": {"comm_fraction": {"value": 0.1}}}]})";
+  const obs::SentinelResult bad = obs::sentinel_compare(base, broken);
+  EXPECT_FALSE(bad.ok);
+  EXPECT_FALSE(bad.error.empty());
+}
+
+// ---------------------------------------------------------------------
 // Constructed imbalance on real runs: the env-gated per-rank delay hook
 // makes one rank measurably slow; the analyzer must pin it.
 // ---------------------------------------------------------------------
@@ -542,11 +628,13 @@ TEST_P(ConstructedImbalance, AnalyzerPinsTheSlowRank) {
   }
   const ir::MpiMode mode = GetParam();
   const int kSlowRank = 3;
-  // 1.5 ms of extra compute per step on one rank of a tiny 12x12
-  // problem: orders of magnitude above the real per-step compute, so
-  // the verdicts below are noise-proof.
+  // 6 ms of extra compute per step on one rank of a tiny 12x12
+  // problem: orders of magnitude above the real per-step compute and
+  // above an OS timeslice, so the verdicts below are noise-proof even
+  // on an oversubscribed one-core CI box (the binary also runs
+  // RUN_SERIAL so sibling test processes don't add load).
   ScopedEnv delay_rank("JITFD_DELAY_RANK", std::to_string(kSlowRank));
-  ScopedEnv delay_us("JITFD_DELAY_US", "1500");
+  ScopedEnv delay_us("JITFD_DELAY_US", "6000");
 
   for (const int depth : {1, 2}) {
     const int steps = 4;

@@ -386,6 +386,12 @@ TEST(TransportOversubscribe, SixteenRankCartOnProcessShm) {
 // --- Trace aggregation ------------------------------------------------------
 
 TEST(TransportTrace, ChildTracesMergeIntoParentRegistry) {
+  obs::set_enabled(true);
+  const bool obs_built = obs::enabled();
+  obs::set_enabled(false);
+  if (!obs_built) {
+    GTEST_SKIP() << "built with JITFD_OBS=OFF";
+  }
   obs::reset();
   const obs::EnableScope scope(true);  // Inherited by forked children.
   smpi::launch({.nranks = 3, .transport = TransportKind::ProcessShm},

@@ -5,14 +5,16 @@
 //   perf_sentinel --baseline=FILE --fresh=FILE
 //                 [--tolerance-pct=25] [--min-seconds=0]
 //                 [--counter-tolerance-pct=0] [--no-counters]
-//                 [--scale-fresh=1.0]
+//                 [--scale-fresh=1.0] [--drift-shift=0.0]
 //
 // Per-series rules live in obs/sentinel.h: medians may exceed the
 // baseline by tolerance-pct plus the larger committed spread_pct;
 // series faster than min-seconds skip the timing check; counters must
-// match within counter-tolerance-pct (exactly, by default).
+// match within counter-tolerance-pct (exactly, by default); perfmodel
+// drift gates must stay inside the band committed in the baseline.
 // --scale-fresh multiplies the fresh medians — CI uses 1.2 to prove
-// the gate trips on an injected 20% slowdown.
+// the gate trips on an injected 20% slowdown. --drift-shift adds to
+// the fresh drift values, the equivalent self-test for drift gates.
 //
 // Exit codes: 0 pass, 1 regression, 2 usage or malformed input.
 #include <cstdlib>
@@ -67,7 +69,7 @@ int main(int argc, char** argv) {
     std::cerr << "usage: perf_sentinel --baseline=FILE --fresh=FILE "
                  "[--tolerance-pct=N] [--min-seconds=X] "
                  "[--counter-tolerance-pct=N] [--no-counters] "
-                 "[--scale-fresh=X]\n";
+                 "[--scale-fresh=X] [--drift-shift=X]\n";
     return 2;
   }
 
@@ -80,6 +82,8 @@ int main(int argc, char** argv) {
       std::atof(arg_value(argc, argv, "counter-tolerance-pct", "0").c_str());
   opts.scale_fresh =
       std::atof(arg_value(argc, argv, "scale-fresh", "1").c_str());
+  opts.drift_shift =
+      std::atof(arg_value(argc, argv, "drift-shift", "0").c_str());
   opts.check_counters = !has_flag(argc, argv, "no-counters");
 
   std::string baseline_json;

@@ -1,15 +1,19 @@
 // trace_check: CI gate validating observability artifacts.
 //
 //   trace_check [trace.json] [--min-ranks N] [--min-events N]
-//               [--metrics FILE] [--analysis FILE] [--events FILE]
-//               [--flight FILE] [--expect-rank N] [--expect-step N]
+//               [--metrics FILE] [--analysis FILE] [--autotune FILE]
+//               [--events FILE] [--flight FILE] [--expect-rank N]
+//               [--expect-step N]
 //
 // The positional file is a Chrome trace-event JSON (from
 // examples/quickstart --trace=..., or any RunSummary trace handle's
 // write_chrome()). --metrics validates an obs::metrics export — JSON
 // (obs::metrics::to_json) or Prometheus text (to_prometheus), sniffed
 // from the first non-whitespace byte. --analysis checks an
-// obs::analysis_json() report, --events an obs::events::to_json()
+// obs::analysis_json() report, --autotune a
+// core::autotune_report_json() report (rejecting reports missing the
+// "why" decision string or, under the attributed objective, the
+// per-trial AnalysisScore), --events an obs::events::to_json()
 // export, and --flight a flight-recorder bundle; --expect-rank /
 // --expect-step additionally assert the bundle's culprit rank and
 // step. Exits 0 when every given file passes; prints the first
@@ -38,8 +42,8 @@ bool slurp(const std::string& path, std::string& out) {
 int usage() {
   std::cerr << "usage: trace_check [trace.json] [--min-ranks N] "
                "[--min-events N] [--metrics FILE] [--analysis FILE] "
-               "[--events FILE] [--flight FILE] [--expect-rank N] "
-               "[--expect-step N]\n";
+               "[--autotune FILE] [--events FILE] [--flight FILE] "
+               "[--expect-rank N] [--expect-step N]\n";
   return 2;
 }
 
@@ -49,6 +53,7 @@ int main(int argc, char** argv) {
   std::string path;
   std::string metrics_path;
   std::string analysis_path;
+  std::string autotune_path;
   std::string events_path;
   std::string flight_path;
   int min_ranks = 1;
@@ -67,6 +72,8 @@ int main(int argc, char** argv) {
       metrics_path = argv[++i];
     } else if (arg == "--analysis" && i + 1 < argc) {
       analysis_path = argv[++i];
+    } else if (arg == "--autotune" && i + 1 < argc) {
+      autotune_path = argv[++i];
     } else if (arg == "--events" && i + 1 < argc) {
       events_path = argv[++i];
     } else if (arg == "--flight" && i + 1 < argc) {
@@ -84,7 +91,7 @@ int main(int argc, char** argv) {
     }
   }
   if (path.empty() && metrics_path.empty() && analysis_path.empty() &&
-      events_path.empty() && flight_path.empty()) {
+      autotune_path.empty() && events_path.empty() && flight_path.empty()) {
     std::cerr << "trace_check: no input file\n";
     return 2;
   }
@@ -167,6 +174,23 @@ int main(int argc, char** argv) {
     }
     std::cout << "trace_check: " << analysis_path << ": ok (" << check.items
               << " sections)\n";
+  }
+
+  if (!autotune_path.empty()) {
+    std::string json;
+    if (!slurp(autotune_path, json)) {
+      std::cerr << "trace_check: cannot open " << autotune_path << '\n';
+      return 1;
+    }
+    const jitfd::obs::SchemaCheck check =
+        jitfd::obs::validate_autotune_json(json);
+    if (!check.ok) {
+      std::cerr << "trace_check: " << autotune_path << ": " << check.error
+                << '\n';
+      return 1;
+    }
+    std::cout << "trace_check: " << autotune_path << ": ok (" << check.items
+              << " trials)\n";
   }
 
   if (!events_path.empty()) {
